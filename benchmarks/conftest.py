@@ -1,0 +1,39 @@
+"""Shared benchmark configuration.
+
+Each ``test_figXX`` benchmark regenerates one figure of the paper's
+evaluation (the series it plots), prints it as an ASCII table, and
+asserts the paper's qualitative claims (who wins, ordering,
+crossovers).  Parameter sweeps default to a moderate grid so the whole
+suite finishes in minutes; set ``REPRO_BENCH_FULL=1`` for the full
+paper-anchored sweeps.
+"""
+
+import os
+
+import pytest
+
+FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
+
+#: Tile-size sweeps (chain-dimension factor) per density.
+SOR_Z = (4, 6, 8, 12, 16, 24, 32, 48) if FULL else (4, 8, 16, 32)
+JACOBI_X = (1, 2, 3, 4, 6, 8, 12, 16) if FULL else (2, 4, 8, 16)
+ADI_X = (1, 2, 3, 4, 6, 8, 12, 16) if FULL else (2, 4, 8, 16)
+
+SOR_SPACES = ((100, 100), (100, 200), (200, 200), (200, 400)) if FULL \
+    else ((100, 100), (100, 200), (150, 200), (200, 200))
+JACOBI_SPACES = ((50, 100, 100), (50, 200, 200), (100, 200, 200),
+                 (100, 300, 300)) if FULL \
+    else ((50, 100, 100), (50, 150, 150), (80, 150, 150), (100, 200, 200))
+ADI_SPACES = ((50, 128), (100, 128), (100, 256), (200, 256)) if FULL \
+    else ((50, 128), (100, 128), (100, 192), (100, 256))
+
+
+def print_figure(fig):
+    from repro.experiments.report import format_table
+    print()
+    print(format_table(fig))
+
+
+def run_once(benchmark, fn):
+    """Run the figure generation exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,43 @@
+"""Ablation: the §3.2 message-aggregation design choice at paper scale.
+
+The paper's SEND packs all tile dependencies toward one successor
+processor into a single message ("a tile will receive from tiles, while
+it will send to processors").  This bench quantifies the design: the
+naive per-dependence variant pays extra latencies (and duplicated
+payload) every step.
+"""
+
+from benchmarks.conftest import run_once
+from repro.apps import sor
+from repro.experiments.figures import sor_factors
+from repro.runtime import DistributedRun, FAST_ETHERNET_CLUSTER, TiledProgram
+
+
+def _measure():
+    x, y = sor_factors(100, 200)
+    app = sor.app(100, 200)
+    out = {}
+    for z in (4, 8, 16):
+        prog = TiledProgram(app.nest, sor.h_nonrectangular(x, y, z),
+                            mapping_dim=2)
+        run = DistributedRun(prog, FAST_ETHERNET_CLUSTER)
+        agg = run.simulate()
+        raw = run.simulate_unaggregated()
+        t_seq = FAST_ETHERNET_CLUSTER.compute_time(prog.total_points())
+        out[z] = (t_seq / agg.makespan, t_seq / raw.makespan,
+                  agg.total_messages, raw.total_messages)
+    return out
+
+
+def test_ablation_aggregation(benchmark):
+    rows = run_once(benchmark, _measure)
+    print("\nz     aggregated  per-dep   msgs(agg)  msgs(per-dep)")
+    for z, (s_agg, s_raw, m_agg, m_raw) in rows.items():
+        print(f"{z:<5} {s_agg:>10.3f} {s_raw:>8.3f} {m_agg:>10} "
+              f"{m_raw:>10}")
+    for s_agg, s_raw, m_agg, m_raw in rows.values():
+        assert m_raw > m_agg
+        assert s_agg >= s_raw - 1e-9, "aggregation must not hurt"
+    # somewhere in the sweep the aggregation visibly pays off
+    assert any(s_agg > s_raw * 1.01
+               for s_agg, s_raw, _, _ in rows.values())

@@ -1,0 +1,53 @@
+"""Extension ablation: one slow node in the mesh.
+
+The paper assumes 16 identical nodes.  Real clusters degrade: this
+bench slows a single rank by a factor f and measures how the pipeline
+makespan responds.  Because the wavefront schedule chains every
+processor through its neighbours, one slow node should drag the whole
+machine towards its own speed — the interesting question is how much
+of the slowdown the pipeline absorbs.
+"""
+
+from benchmarks.conftest import run_once
+from repro.apps import sor
+from repro.experiments.figures import sor_factors
+from repro.runtime import (ClusterSpec, DistributedRun,
+                           FAST_ETHERNET_CLUSTER, TiledProgram)
+
+FACTORS = (1.0, 1.5, 2.0, 3.0)
+
+
+def _measure():
+    x, y = sor_factors(100, 200)
+    app = sor.app(100, 200)
+    prog = TiledProgram(app.nest, sor.h_nonrectangular(x, y, 8),
+                        mapping_dim=2)
+    t_seq = FAST_ETHERNET_CLUSTER.compute_time(prog.total_points())
+    # slow the *critical* rank — the one that finishes last at nominal
+    # speed; a non-critical rank can hide a large slowdown in its slack
+    base = DistributedRun(prog, FAST_ETHERNET_CLUSTER).simulate()
+    critical = max(base.clocks, key=base.clocks.get)
+    rows = []
+    for f in FACTORS:
+        factors = [1.0] * prog.num_processors
+        factors[critical] = f
+        spec = ClusterSpec(node_speed_factors=tuple(factors))
+        stats = DistributedRun(prog, spec).simulate()
+        rows.append((f, t_seq / stats.makespan, stats.makespan))
+    return rows
+
+
+def test_ablation_heterogeneity(benchmark):
+    rows = run_once(benchmark, _measure)
+    base = rows[0][2]
+    print("\nslow-node factor  speedup  makespan stretch")
+    for f, s, mk in rows:
+        print(f"{f:>16.1f}  {s:>7.3f}  {mk / base:>7.3f}x")
+    speeds = [s for _, s, _ in rows]
+    # monotone degradation
+    assert all(b <= a + 1e-9 for a, b in zip(speeds, speeds[1:]))
+    # one slow node cannot stretch the makespan by more than its own
+    # factor, and the pipeline absorbs some of it
+    for f, _, mk in rows[1:]:
+        assert mk / base <= f + 1e-9
+        assert mk / base > 1.0

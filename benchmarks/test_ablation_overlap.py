@@ -1,0 +1,38 @@
+"""Ablation: blocking sends (the paper's scheme) vs computation/
+communication overlap (the paper's future work, their ref [8]).
+
+DESIGN.md calls this design choice out: the RECEIVE-compute-SEND cycle
+serializes transfers into the critical path.  Overlap should help most
+exactly where communication is heaviest (small tiles).
+"""
+
+from benchmarks.conftest import print_figure, run_once
+from repro.apps import sor
+from repro.experiments.harness import run_experiment
+from repro.runtime import FAST_ETHERNET_CLUSTER
+
+
+def _sweep():
+    from repro.experiments.figures import sor_factors
+    x, y = sor_factors(100, 200)
+    app = sor.app(100, 200)
+    rows = []
+    for z in (4, 8, 16, 32):
+        h = sor.h_nonrectangular(x, y, z)
+        blocking = run_experiment(app, h, f"blocking-z{z}",
+                                  FAST_ETHERNET_CLUSTER)
+        overlap = run_experiment(app, h, f"overlap-z{z}",
+                                 FAST_ETHERNET_CLUSTER.with_overlap())
+        rows.append((z, blocking.speedup, overlap.speedup))
+    return rows
+
+
+def test_ablation_overlap(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print("\nz     blocking  overlap   gain")
+    for z, b, o in rows:
+        print(f"{z:<5} {b:>8.3f}  {o:>7.3f}  {100 * (o - b) / b:>5.1f}%")
+    for _, b, o in rows:
+        assert o >= b - 1e-9, "overlap must never hurt"
+    assert any(o > b * 1.02 for _, b, o in rows), (
+        "overlap should help somewhere in the sweep")

@@ -1,0 +1,41 @@
+"""Ablation: MPI message protocols — eager vs rendezvous vs overlap.
+
+The paper's generated code uses plain blocking ``MPI_Send``; real MPI
+switches to a synchronous rendezvous above an eager threshold, which
+couples sender and receiver clocks and stretches the pipeline.  This
+bench quantifies the protocol effect on the SOR anchor experiment —
+context for how much the paper's measured speedups depended on MPICH's
+eager limit.
+"""
+
+from benchmarks.conftest import run_once
+from repro.apps import sor
+from repro.experiments.figures import sor_factors
+from repro.experiments.harness import run_experiment
+from repro.runtime import ClusterSpec
+
+
+def _sweep():
+    x, y = sor_factors(100, 200)
+    app = sor.app(100, 200)
+    h = sor.h_nonrectangular(x, y, 8)
+    specs = {
+        "eager": ClusterSpec(),
+        "rendezvous-16k": ClusterSpec(rendezvous_threshold=16 * 1024),
+        "rendezvous-all": ClusterSpec(rendezvous_threshold=0),
+        "overlap": ClusterSpec(overlap=True),
+    }
+    return {
+        label: run_experiment(app, h, label, spec).speedup
+        for label, spec in specs.items()
+    }
+
+
+def test_ablation_protocols(benchmark):
+    speedups = run_once(benchmark, _sweep)
+    print("\nprotocol         speedup")
+    for label, s in speedups.items():
+        print(f"{label:<16} {s:7.3f}")
+    assert speedups["overlap"] >= speedups["eager"] - 1e-9
+    assert speedups["eager"] >= speedups["rendezvous-all"] - 1e-9
+    assert speedups["rendezvous-16k"] <= speedups["eager"] + 1e-9

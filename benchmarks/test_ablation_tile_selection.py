@@ -1,0 +1,40 @@
+"""Ablation: closed-form tile-size rule vs exhaustive sweep.
+
+DESIGN.md calls out tile-size selection as a design choice the paper
+makes by hand ("we then varied factor z to test different tile sizes").
+This bench measures how much speedup the comp~comm ratio rule of ref
+[3] leaves on the table compared to the full simulated sweep.
+"""
+
+from benchmarks.conftest import run_once
+from repro.apps import sor
+from repro.experiments.figures import sor_factors
+from repro.runtime import FAST_ETHERNET_CLUSTER
+from repro.tiling import ratio_balanced_extent, sweep_best_extent
+
+CANDIDATES = (2, 3, 4, 6, 8, 12, 16, 24, 32, 48)
+
+
+def _tune():
+    x, y = sor_factors(100, 200)
+    app = sor.app(100, 200)
+    h_of = lambda z: sor.h_nonrectangular(x, y, z)
+    balanced = ratio_balanced_extent(h_of, app.nest, app.mapping_dim,
+                                     FAST_ETHERNET_CLUSTER,
+                                     candidates=CANDIDATES)
+    sweep = sweep_best_extent(h_of, app.nest, app.mapping_dim,
+                              FAST_ETHERNET_CLUSTER, CANDIDATES)
+    curve = dict(sweep.curve)
+    return balanced, sweep, curve
+
+
+def test_ablation_tile_selection(benchmark):
+    balanced, sweep, curve = run_once(benchmark, _tune)
+    print(f"\nratio-balanced extent: z={balanced} "
+          f"(speedup {curve[balanced]:.3f})")
+    print(f"sweep optimum:         z={sweep.best_extent} "
+          f"(speedup {sweep.best_speedup:.3f})")
+    loss = (sweep.best_speedup - curve[balanced]) / sweep.best_speedup
+    print(f"closed-form rule loses {loss:.1%} vs exhaustive search")
+    # the rule must be competitive: within 25% of the sweep optimum
+    assert curve[balanced] >= 0.75 * sweep.best_speedup

@@ -1,0 +1,50 @@
+"""Micro-benchmarks: code-emission speed.
+
+The paper stresses "negligible compile-time overhead"; emission is the
+last compiler stage, so it's measured alongside the analysis passes in
+``test_compiler_passes``.
+"""
+
+import pytest
+
+from repro.apps import jacobi
+from repro.codegen import (
+    generate_mpi_code,
+    generate_python_node_programs,
+    generate_python_sequential,
+    generate_sequential_tiled_code,
+)
+
+
+@pytest.fixture(scope="module")
+def setting():
+    app = jacobi.app(12, 16, 16)
+    return app, jacobi.h_nonrectangular(3, 4, 4)
+
+
+def test_bench_emit_sequential_c(benchmark, setting):
+    app, h = setting
+    code = benchmark(generate_sequential_tiled_code, app.nest, h)
+    assert "for (long jS0" in code
+
+
+def test_bench_emit_mpi_c(benchmark, setting):
+    app, h = setting
+    code = benchmark(generate_mpi_code, app.nest, h, 0)
+    assert "MPI_Send" in code
+
+
+def test_bench_emit_python_sequential(benchmark, setting):
+    app, h = setting
+    code = benchmark(generate_python_sequential, app.nest, h)
+    assert "def execute" in code
+
+
+def test_bench_emit_python_schedule(benchmark, setting):
+    app, h = setting
+
+    def emit():
+        return generate_python_node_programs(app.nest, h, mapping_dim=0)
+
+    code = benchmark.pedantic(emit, rounds=3, iterations=1)
+    assert "SCHEDULES" in code

@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the compiler passes themselves.
+
+These are real pytest-benchmark measurements (many rounds): HNF,
+Fourier-Motzkin bound derivation, tile-space enumeration, TTIS lattice
+generation, and full program compilation — the compile-time overhead
+the paper claims is 'negligible'.
+"""
+
+import pytest
+
+from repro.apps import sor
+from repro.linalg import column_hnf
+from repro.polyhedra import box, loop_bounds
+from repro.runtime import TiledProgram
+from repro.tiling import TilingTransformation
+
+
+@pytest.fixture(scope="module")
+def sor_app():
+    return sor.app(50, 100)
+
+
+def test_bench_column_hnf(benchmark):
+    a = [[12, -7, 3], [0, 5, -2], [4, 4, 9]]
+    b, u = benchmark(column_hnf, a)
+    assert (b.to_int_rows()[0][1], b.to_int_rows()[0][2]) == (0, 0)
+
+
+def test_bench_fourier_motzkin_bounds(benchmark, sor_app):
+    h = sor.h_nonrectangular(10, 25, 20)
+    tt = TilingTransformation(h, sor_app.nest.domain)
+    bounds = benchmark(tt.tile_space_bounds)
+    assert len(bounds) == 3
+
+
+def test_bench_tile_enumeration(benchmark, sor_app):
+    h = sor.h_nonrectangular(10, 25, 20)
+
+    def enumerate_fresh():
+        tt = TilingTransformation(h, sor_app.nest.domain)
+        return tt.enumerate_tiles()
+
+    tiles = benchmark(enumerate_fresh)
+    assert len(tiles) > 0
+
+
+def test_bench_ttis_lattice(benchmark):
+    from repro.apps import jacobi
+    h = jacobi.h_nonrectangular(8, 16, 16)
+
+    def lattice_fresh():
+        from repro.tiling import TTIS
+        return TTIS(h).lattice_points_np()
+
+    lat = benchmark(lattice_fresh)
+    assert len(lat) == 8 * 16 * 16
+
+
+def test_bench_full_compile(benchmark, sor_app):
+    """End-to-end compilation (the paper's 'negligible compile time')."""
+    h = sor.h_nonrectangular(10, 25, 20)
+
+    def compile_program():
+        return TiledProgram(sor_app.nest, h, mapping_dim=2)
+
+    prog = benchmark(compile_program)
+    assert prog.num_processors >= 1

@@ -1,0 +1,21 @@
+"""Figure 5: SOR maximum speedups for different iteration spaces.
+
+Paper shape: non-rectangular tiling beats rectangular in every
+iteration space.
+"""
+
+from benchmarks.conftest import SOR_SPACES, SOR_Z, print_figure, run_once
+from repro.experiments import figures
+
+
+def test_fig05_sor_spaces(benchmark):
+    fig = run_once(benchmark,
+                   lambda: figures.fig5(spaces=SOR_SPACES, z_values=SOR_Z))
+    print_figure(fig)
+    m = fig.series_map()
+    for space in m["rectangular"]:
+        assert m["non-rectangular"][space] > m["rectangular"][space], (
+            f"non-rect must beat rect on {space}")
+    # speedups grow (weakly) with problem size within each family
+    rect = [v for _, v in fig.series[0].points]
+    assert max(rect) <= 16  # never super-linear on 16 processors

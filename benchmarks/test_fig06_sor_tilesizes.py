@@ -1,0 +1,25 @@
+"""Figure 6: SOR speedups for various tile sizes (M=100, N=200).
+
+Paper shape: non-rectangular above rectangular at every tile size; both
+curves unimodal (small tiles latency-bound, large tiles pipeline-bound).
+"""
+
+from benchmarks.conftest import SOR_Z, print_figure, run_once
+from repro.experiments import figures
+from repro.experiments.report import improvement_percent
+
+
+def test_fig06_sor_tilesizes(benchmark):
+    fig = run_once(benchmark,
+                   lambda: figures.fig6(m=100, n=200, z_values=SOR_Z))
+    print_figure(fig)
+    m = fig.series_map()
+    for z in SOR_Z:
+        assert m["non-rectangular"][z] > m["rectangular"][z]
+    imp = improvement_percent(fig, "rectangular", "non-rectangular")
+    print(f"\nmean speedup improvement: {imp:.1f}% "
+          f"(paper reports 17.3% average over its SOR experiments)")
+    assert imp > 5.0
+    # both series peak strictly inside the sweep or at its ends but vary
+    rect_vals = [m["rectangular"][z] for z in SOR_Z]
+    assert max(rect_vals) > min(rect_vals)

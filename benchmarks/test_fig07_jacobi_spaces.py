@@ -1,0 +1,14 @@
+"""Figure 7: Jacobi maximum speedups for different iteration spaces."""
+
+from benchmarks.conftest import (JACOBI_SPACES, JACOBI_X, print_figure,
+                                 run_once)
+from repro.experiments import figures
+
+
+def test_fig07_jacobi_spaces(benchmark):
+    fig = run_once(benchmark, lambda: figures.fig7(
+        spaces=JACOBI_SPACES, x_values=JACOBI_X))
+    print_figure(fig)
+    m = fig.series_map()
+    for space in m["rectangular"]:
+        assert m["non-rectangular"][space] > m["rectangular"][space]

@@ -1,0 +1,18 @@
+"""Figure 8: Jacobi speedups for various tile sizes (T=50, I=J=100)."""
+
+from benchmarks.conftest import JACOBI_X, print_figure, run_once
+from repro.experiments import figures
+from repro.experiments.report import improvement_percent
+
+
+def test_fig08_jacobi_tilesizes(benchmark):
+    fig = run_once(benchmark, lambda: figures.fig8(
+        t=50, i=100, j=100, x_values=JACOBI_X))
+    print_figure(fig)
+    m = fig.series_map()
+    for x in JACOBI_X:
+        assert m["non-rectangular"][x] > m["rectangular"][x]
+    imp = improvement_percent(fig, "rectangular", "non-rectangular")
+    print(f"\nmean speedup improvement: {imp:.1f}% "
+          f"(paper reports 9.1% average over its Jacobi experiments)")
+    assert imp > 3.0

@@ -1,0 +1,24 @@
+"""Figure 9: ADI maximum speedups for different iteration spaces,
+four tilings (rect, nr1, nr2, nr3).
+
+Paper shape: nr3 (cone-aligned) best; nr1 ~ nr2 in between; rect last.
+"""
+
+from benchmarks.conftest import ADI_SPACES, ADI_X, print_figure, run_once
+from repro.experiments import figures
+
+
+def test_fig09_adi_spaces(benchmark):
+    fig = run_once(benchmark, lambda: figures.fig9(
+        spaces=ADI_SPACES, x_values=ADI_X))
+    print_figure(fig)
+    m = fig.series_map()
+    for space in m["rect"]:
+        assert m["nr3"][space] > m["rect"][space]
+        assert m["nr1"][space] > m["rect"][space]
+        assert m["nr2"][space] > m["rect"][space]
+        assert m["nr3"][space] >= m["nr1"][space] - 1e-9
+        assert m["nr3"][space] >= m["nr2"][space] - 1e-9
+        # nr1 and nr2 use equal y = z factors: near-identical speedups
+        rel = abs(m["nr1"][space] - m["nr2"][space]) / m["nr1"][space]
+        assert rel < 0.05

@@ -1,0 +1,19 @@
+"""Figure 10: ADI speedups for various tile sizes (T=100, N=256)."""
+
+from benchmarks.conftest import ADI_X, print_figure, run_once
+from repro.experiments import figures
+
+
+def test_fig10_adi_tilesizes(benchmark):
+    fig = run_once(benchmark, lambda: figures.fig10(
+        t=100, n=256, x_values=ADI_X))
+    print_figure(fig)
+    m = fig.series_map()
+    for x in ADI_X:
+        # §4.4 "gradual improvement from the rectangular tiling to the
+        # non-rectangular one taken from the tiling cone"
+        assert m["nr3"][x] > m["rect"][x]
+        assert m["nr1"][x] > m["rect"][x]
+        assert m["nr2"][x] > m["rect"][x]
+        assert m["nr3"][x] >= m["nr1"][x] - 1e-9
+        assert m["nr3"][x] >= m["nr2"][x] - 1e-9

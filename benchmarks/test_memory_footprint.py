@@ -1,0 +1,41 @@
+"""§3.1 memory accounting at paper scale.
+
+Measures, for the SOR anchor experiment, each processor's LDS size
+against (a) the points it owns and (b) the enclosing-box allocation of
+its data-space share — the quantitative version of the paper's §3.1
+memory discussion.  See EXPERIMENTS.md for the interpretation.
+"""
+
+from benchmarks.conftest import run_once
+from repro.apps import sor
+from repro.distribution import memory_report
+from repro.experiments.figures import sor_factors
+from repro.runtime import TiledProgram
+
+
+def _measure():
+    x, y = sor_factors(100, 200)
+    app = sor.app(100, 200)
+    out = {}
+    for label, h in (("rect", sor.h_rectangular(x, y, 8)),
+                     ("nonrect", sor.h_nonrectangular(x, y, 8))):
+        prog = TiledProgram(app.nest, h, mapping_dim=2)
+        out[label] = memory_report(prog)
+    return out
+
+
+def test_memory_footprint(benchmark):
+    reports = run_once(benchmark, _measure)
+    print()
+    for label, rep in reports.items():
+        print(f"{label}: LDS/points = {rep.lds_overhead:.2f}, "
+              f"naive-box/points = {rep.total_naive / rep.total_points:.2f}, "
+              f"naive/LDS = {rep.compression:.2f}x")
+    for rep in reports.values():
+        # every processor can store what it computes
+        assert all(f.lds_cells >= f.computed_points
+                   for f in rep.per_processor)
+        # the skewed share is non-rectangular (box strictly bigger)
+        assert rep.total_naive > rep.total_points
+        # LDS slack stays within a small factor at paper scale
+        assert rep.lds_overhead < 3.0

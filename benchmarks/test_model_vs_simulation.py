@@ -1,0 +1,44 @@
+"""Ablation: closed-form completion-time model vs discrete-event sim.
+
+The Hodzic-Shang-style prediction (steps x per-step time) ignores
+boundary-tile clipping and pipeline fill/drain.  This bench quantifies
+the gap across tile shapes — and checks the *ranking* agrees: the model
+must predict the same winner the simulation crowns, which is the whole
+point of shape selection theory.
+"""
+
+from benchmarks.conftest import run_once
+from repro.apps import adi
+from repro.runtime import DistributedRun, FAST_ETHERNET_CLUSTER, TiledProgram
+from repro.schedule import predict_makespan
+
+
+def _compare():
+    app = adi.app(100, 256)
+    from repro.experiments.figures import adi_factors
+    y, z = adi_factors(100, 256)
+    rows = []
+    for label, hf in (("rect", adi.h_rectangular), ("nr1", adi.h_nr1),
+                      ("nr2", adi.h_nr2), ("nr3", adi.h_nr3)):
+        h = hf(4, y, z)
+        prog = TiledProgram(app.nest, h, mapping_dim=0)
+        sim = DistributedRun(prog, FAST_ETHERNET_CLUSTER).simulate()
+        pred = predict_makespan(prog.tiling, app.nest.dependences, 0,
+                                FAST_ETHERNET_CLUSTER,
+                                arrays=len(prog.arrays))
+        rows.append((label, pred.total, sim.makespan))
+    return rows
+
+
+def test_model_vs_simulation(benchmark):
+    rows = run_once(benchmark, _compare)
+    print("\ntiling  predicted(s)  simulated(s)  ratio")
+    for label, pred, sim in rows:
+        print(f"{label:<7} {pred:>11.4f}  {sim:>11.4f}  {pred / sim:>5.2f}")
+    for _, pred, sim in rows:
+        assert 0.25 < pred / sim < 4.0, "model should track the DES"
+    pred_rank = [l for l, p, _ in sorted(rows, key=lambda r: r[1])]
+    sim_rank = [l for l, _, s in sorted(rows, key=lambda r: r[2])]
+    assert pred_rank[0] == sim_rank[0] == "nr3", (
+        "model and simulation must crown the same (cone-aligned) winner")
+    assert pred_rank[-1] == sim_rank[-1] == "rect"

@@ -1,0 +1,46 @@
+"""Extension ablation: processor-count scaling (the paper fixes P=16).
+
+Sweeps the processor mesh (2x2 -> 6x6) on the SOR anchor problem with
+both tile shapes.  Expected shape: speedups grow with P but efficiency
+falls (fixed problem = strong scaling); the non-rectangular advantage
+persists at every P.
+"""
+
+from benchmarks.conftest import run_once
+from repro.apps import sor
+from repro.experiments.harness import run_experiment
+from repro.experiments.spaces import tile_count_extent
+from repro.runtime import FAST_ETHERNET_CLUSTER
+
+GRIDS = (2, 3, 4, 6)
+
+
+def _sweep():
+    app = sor.app(100, 200)
+    rows = []
+    for g in GRIDS:
+        x = tile_count_extent(1, 100, g)
+        y = tile_count_extent(2, 300, g)
+        r_rect = run_experiment(app, sor.h_rectangular(x, y, 8),
+                                f"rect-{g}x{g}", FAST_ETHERNET_CLUSTER)
+        r_nr = run_experiment(app, sor.h_nonrectangular(x, y, 8),
+                              f"nr-{g}x{g}", FAST_ETHERNET_CLUSTER)
+        rows.append((g * g, r_rect, r_nr))
+    return rows
+
+
+def test_scalability(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print("\nP     rect-speedup  rect-eff   nr-speedup  nr-eff")
+    for p, r, nr in rows:
+        print(f"{p:<5} {r.speedup:>12.3f}  {r.efficiency:>7.1%} "
+              f"{nr.speedup:>12.3f}  {nr.efficiency:>7.1%}")
+    speedups_nr = [nr.speedup for _, _, nr in rows]
+    # strong scaling: more processors, more speedup (monotone here)
+    assert all(b > a for a, b in zip(speedups_nr, speedups_nr[1:]))
+    # efficiency decays with P
+    effs = [nr.efficiency for _, _, nr in rows]
+    assert effs[-1] < effs[0]
+    # the shape advantage persists at every processor count
+    for _, r, nr in rows:
+        assert nr.speedup > r.speedup

@@ -1,0 +1,26 @@
+"""§4.4 headline numbers: average speedup improvement per application.
+
+Paper: SOR 17.3 %, Jacobi 9.1 %, ADI 10.1 % (nr over rect, averaged
+over its experiments).  Absolute percentages depend on the testbed and
+on the tile-size range averaged over; the reproduction asserts the
+robust shape: every application improves, and SOR's average lands near
+the paper's (its sweep shape is the least cost-model-sensitive).
+Jacobi's and ADI's averages come out larger here because our sweep
+includes large chain extents where the rectangular pipeline collapses
+while the cone-derived shapes stay flat (paper fig. 10 shows the same
+divergence growing with tile size).
+"""
+
+from benchmarks.conftest import ADI_X, JACOBI_X, SOR_Z, run_once
+from repro.experiments.summary import PAPER_IMPROVEMENTS, average_improvements
+
+
+def test_summary_improvements(benchmark):
+    summary = run_once(benchmark, lambda: average_improvements(
+        sor_z=SOR_Z, jacobi_x=JACOBI_X, adi_x=ADI_X))
+    print()
+    print(summary.table())
+    got = summary.measured
+    assert all(v > 0 for v in got.values()), "nr must win on average"
+    assert abs(got["sor"] - PAPER_IMPROVEMENTS["sor"]) < 10.0, (
+        "SOR average improvement should land near the paper's 17.3%")

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""ADI tile-shape shootout: four tilings, one winner (paper §4.3).
+
+Compares H_r, H_nr1, H_nr2, H_nr3 (equal tile volume, equal
+communication volume, same 16 processors) and shows the completion-time
+ordering t_nr3 < t_nr1 = t_nr2 < t_r predicted by Hodzic & Shang's
+cone-alignment theory — both in the closed-form schedule analysis and
+in the discrete-event simulation.
+
+Run:  python examples/adi_tile_shapes.py [T N x]
+"""
+
+import sys
+
+from repro import compile_tiled, simulate, FAST_ETHERNET_CLUSTER
+from repro.apps import adi
+from repro.experiments.figures import adi_factors
+from repro.schedule import last_tile_time, schedule_length
+from repro.tiling import tiling_cone_rays
+
+
+def main(t: int = 100, n: int = 256, x: int = 4) -> None:
+    app = adi.app(t, n)
+    y, z = adi_factors(t, n)
+    print(f"ADI T={t} N={n}; x={x} y={y} z={z}")
+    print(f"dependence cone rays: "
+          f"{tiling_cone_rays(app.nest.dependences)}")
+    print(f"{'tiling':<8}{'last step':>10}{'wavefronts':>12}"
+          f"{'T_par (s)':>12}{'speedup':>9}")
+    j_max = (t, n, n)
+    rows = []
+    for label, hf in (("rect", adi.h_rectangular), ("nr1", adi.h_nr1),
+                      ("nr2", adi.h_nr2), ("nr3", adi.h_nr3)):
+        h = hf(x, y, z)
+        prog = compile_tiled(app.nest, h, mapping_dim=app.mapping_dim)
+        stats = simulate(prog)
+        t_seq = FAST_ETHERNET_CLUSTER.compute_time(prog.total_points())
+        speedup = t_seq / stats.makespan
+        rows.append((label, speedup))
+        print(f"{label:<8}{last_tile_time(h, j_max):>10}"
+              f"{schedule_length(prog.tiling):>12}"
+              f"{stats.makespan:>12.4f}{speedup:>9.2f}")
+    best = max(rows, key=lambda r: r[1])
+    print(f"\nwinner: {best[0]} — the cone-aligned shape, "
+          "as the theory demands" if best[0] == "nr3"
+          else f"\nwinner: {best[0]} (unexpected; try larger T/N)")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:4]]
+    main(*args)

@@ -1,0 +1,16 @@
+"""The paper's evaluation workloads: SOR, Jacobi, ADI integration (§4).
+
+Each module provides:
+
+* the original perfect loop nest (statements, kernels, dependences);
+* the skewing matrix the paper applies (where needed) and the skewed,
+  tile-ready nest;
+* the rectangular and non-rectangular tiling matrices of §4;
+* a naive, independently-written Python reference implementation used
+  to validate the IR construction and every execution mode.
+"""
+
+from repro.apps.base import TiledApp
+from repro.apps import sor, jacobi, adi, heat
+
+__all__ = ["TiledApp", "sor", "jacobi", "adi", "heat"]

@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors how the paper's tool was used — feed it a loop nest and a
+tiling, get code and cluster numbers back:
+
+* ``info``      — compile and print the derived constants (V, strides,
+  CC, offsets, D^S, D^m, processor mesh).
+* ``codegen``   — emit the sequential tiled code, the C+MPI program, or
+  the executable Python schedule.
+* ``simulate``  — run the virtual cluster and print speedup/utilization.
+* ``figure``    — regenerate one of the paper's figures (5-10).
+
+Apps are the paper's three benchmarks; sizes and tile factors come from
+flags.  Examples::
+
+    python -m repro info --app sor -s 100 200 -t 26 76 8 --shape nonrect
+    python -m repro codegen --app adi -s 20 24 -t 4 6 6 --shape nr3 --kind mpi
+    python -m repro simulate --app jacobi -s 50 100 100 -t 4 38 38 --shape rect
+    python -m repro figure fig6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.apps import adi, jacobi, sor
+
+_SHAPES = {
+    "sor": {"rect": sor.h_rectangular, "nonrect": sor.h_nonrectangular},
+    "jacobi": {"rect": jacobi.h_rectangular,
+               "nonrect": jacobi.h_nonrectangular},
+    "adi": {"rect": adi.h_rectangular, "nr1": adi.h_nr1,
+            "nr2": adi.h_nr2, "nr3": adi.h_nr3},
+}
+
+
+def _build_app(name: str, sizes: List[int]):
+    if name == "sor":
+        if len(sizes) != 2:
+            raise SystemExit("sor needs --sizes M N")
+        return sor.app(*sizes)
+    if name == "jacobi":
+        if len(sizes) != 3:
+            raise SystemExit("jacobi needs --sizes T I J")
+        return jacobi.app(*sizes)
+    if name == "adi":
+        if len(sizes) != 2:
+            raise SystemExit("adi needs --sizes T N")
+        return adi.app(*sizes)
+    raise SystemExit(f"unknown app {name!r}")
+
+
+def _build_h(app_name: str, shape: str, factors: List[int]):
+    shapes = _SHAPES[app_name]
+    if shape not in shapes:
+        raise SystemExit(
+            f"{app_name} supports shapes {sorted(shapes)}, not {shape!r}")
+    if len(factors) != 3:
+        raise SystemExit("--tile needs three factors: x y z")
+    return shapes[shape](*factors)
+
+
+def _common_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--app", required=True, choices=["sor", "jacobi", "adi"])
+    p.add_argument("--sizes", "-s", type=int, nargs="+", required=True,
+                   help="iteration-space sizes (sor: M N; jacobi: T I J; "
+                        "adi: T N)")
+    p.add_argument("--tile", "-t", type=int, nargs=3, required=True,
+                   metavar=("X", "Y", "Z"), help="tile factors")
+    p.add_argument("--shape", default="rect",
+                   help="tiling shape (rect/nonrect or rect/nr1/nr2/nr3)")
+
+
+def cmd_info(args) -> int:
+    from repro.runtime.executor import TiledProgram
+
+    app = _build_app(args.app, args.sizes)
+    h = _build_h(args.app, args.shape, args.tile)
+    prog = TiledProgram(app.nest, h, mapping_dim=app.mapping_dim)
+    ttis = prog.tiling.ttis
+    if args.show_loop:
+        from repro.loops.pretty import format_nest
+        print(format_nest(app.nest))
+        print()
+    print(f"nest            : {app.nest.name}")
+    print(f"dependences     : {app.nest.dependences}")
+    print(f"tile volume     : {ttis.tile_volume}")
+    print(f"V (TTIS box)    : {ttis.v}")
+    print(f"strides c_k     : {ttis.c}")
+    print(f"mapping dim m   : {prog.dist.m}")
+    print(f"CC vector       : {prog.comm.cc}")
+    print(f"LDS offsets     : {prog.comm.offsets}")
+    print(f"D^S             : {prog.comm.d_s}")
+    print(f"D^m             : {prog.comm.d_m}")
+    print(f"processors      : {prog.num_processors} "
+          f"(mesh of pids {prog.pids[0]} .. {prog.pids[-1]})")
+    print(f"tiles           : {len(prog.dist.tiles)}")
+    print(f"total points    : {prog.total_points()}")
+    return 0
+
+
+def cmd_codegen(args) -> int:
+    from repro.codegen import (generate_mpi_code,
+                               generate_python_node_programs,
+                               generate_sequential_tiled_code)
+
+    app = _build_app(args.app, args.sizes)
+    h = _build_h(args.app, args.shape, args.tile)
+    if args.kind == "sequential":
+        print(generate_sequential_tiled_code(app.nest, h))
+    elif args.kind == "mpi":
+        print(generate_mpi_code(app.nest, h, mapping_dim=app.mapping_dim))
+    else:
+        print(generate_python_node_programs(
+            app.nest, h, mapping_dim=app.mapping_dim))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.runtime.executor import DistributedRun, TiledProgram
+    from repro.runtime.machine import ClusterSpec
+    from repro.runtime.metrics import format_metrics, metrics_from_stats
+
+    app = _build_app(args.app, args.sizes)
+    h = _build_h(args.app, args.shape, args.tile)
+    spec = ClusterSpec(overlap=args.overlap)
+    prog = TiledProgram(app.nest, h, mapping_dim=app.mapping_dim)
+    stats = DistributedRun(prog, spec).simulate()
+    t_seq = spec.compute_time(prog.total_points())
+    print(f"T_seq  = {t_seq:.6f}s")
+    print(f"T_par  = {stats.makespan:.6f}s")
+    print(f"speedup = {t_seq / stats.makespan:.3f} on "
+          f"{prog.num_processors} processors")
+    print(f"messages = {stats.total_messages}, elements = "
+          f"{stats.total_elements}")
+    print()
+    print(format_metrics(metrics_from_stats(stats), top=args.ranks))
+    return 0
+
+
+def cmd_verify(args) -> int:
+    """Execute with real data and compare against the interpreter."""
+    from repro.runtime.dataspace import max_abs_difference
+    from repro.runtime.executor import DistributedRun, TiledProgram
+    from repro.runtime.interpreter import run_sequential
+    from repro.runtime.machine import ClusterSpec
+
+    app = _build_app(args.app, args.sizes)
+    h = _build_h(args.app, args.shape, args.tile)
+    prog = TiledProgram(app.nest, h, mapping_dim=app.mapping_dim)
+    arrays, stats = DistributedRun(prog, ClusterSpec()).execute(
+        app.init_value)
+    reference = run_sequential(app.nest, app.init_value)
+    worst = 0.0
+    for name in reference:
+        diff = max_abs_difference(arrays[name], reference[name])
+        cells = len(reference[name])
+        print(f"array {name}: {cells} cells, max |diff| = {diff:.3e}")
+        worst = max(worst, diff)
+    print(f"messages exchanged: {stats.total_messages} "
+          f"({stats.total_elements} elements)")
+    if worst < 1e-9:
+        print("VERIFIED: distributed execution matches the sequential "
+              "reference")
+        return 0
+    print("MISMATCH: distributed execution diverges from the reference")
+    return 1
+
+
+def cmd_figure(args) -> int:
+    from repro.experiments import figures
+    from repro.experiments.report import format_table
+
+    fig_fn = getattr(figures, args.name, None)
+    if fig_fn is None or not args.name.startswith("fig"):
+        raise SystemExit("figure must be one of fig5..fig10")
+    fig = fig_fn()
+    print(format_table(fig))
+    if args.csv:
+        from repro.experiments.report import to_csv
+        with open(args.csv, "w") as fh:
+            fh.write(to_csv(fig))
+        print(f"wrote {args.csv}")
+    if args.html:
+        from repro.experiments.html_report import report_html
+        with open(args.html, "w") as fh:
+            fh.write(report_html([fig]))
+        print(f"wrote {args.html}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tiled-iteration-space compiler for (simulated) "
+                    "clusters — CLUSTER 2002 reproduction.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="print compiled constants")
+    _common_flags(p_info)
+    p_info.add_argument("--show-loop", action="store_true",
+                        help="also print the (skewed) nest as FOR loops")
+    p_info.set_defaults(fn=cmd_info)
+
+    p_cg = sub.add_parser("codegen", help="emit generated code")
+    _common_flags(p_cg)
+    p_cg.add_argument("--kind", choices=["sequential", "mpi", "python"],
+                      default="mpi")
+    p_cg.set_defaults(fn=cmd_codegen)
+
+    p_sim = sub.add_parser("simulate", help="run on the virtual cluster")
+    _common_flags(p_sim)
+    p_sim.add_argument("--overlap", action="store_true",
+                       help="enable computation/communication overlap")
+    p_sim.add_argument("--ranks", type=int, default=8,
+                       help="utilization rows to print")
+    p_sim.set_defaults(fn=cmd_simulate)
+
+    p_ver = sub.add_parser(
+        "verify", help="run with real data and check against a "
+                       "sequential reference")
+    _common_flags(p_ver)
+    p_ver.set_defaults(fn=cmd_verify)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("name", help="fig5 .. fig10")
+    p_fig.add_argument("--csv", help="also write the series as CSV")
+    p_fig.add_argument("--html", help="also write a standalone "
+                                      "HTML/SVG report")
+    p_fig.set_defaults(fn=cmd_figure)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

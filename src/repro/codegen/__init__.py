@@ -1,0 +1,35 @@
+"""Code generation: the text the paper's tool would emit.
+
+* :mod:`repro.codegen.exprs` — affine expression / floord-ceild helpers.
+* :mod:`repro.codegen.sequential` — the 2n-deep sequential tiled loop of
+  §2.3 (tile loops from Fourier-Motzkin bounds, intra-tile loops from
+  the TTIS strides and offsets).
+* :mod:`repro.codegen.parallel` — the SPMD C+MPI program of §3
+  (Foracross processor loops, RECEIVE/SEND with pack/unpack, LDS
+  indexing through ``map``).
+
+The *executable* twin of the parallel emitter is
+:mod:`repro.runtime.executor`, which runs the same schedule on the
+virtual cluster; tests keep the two consistent by checking the emitted
+text against the executor's compile-time constants.
+"""
+
+from repro.codegen.sequential import generate_sequential_tiled_code
+from repro.codegen.parallel import generate_mpi_code
+from repro.codegen.pygen import (
+    generate_python_node_programs,
+    load_generated_module,
+)
+from repro.codegen.pyseq import (
+    generate_python_sequential,
+    run_generated_sequential,
+)
+
+__all__ = [
+    "generate_sequential_tiled_code",
+    "generate_mpi_code",
+    "generate_python_node_programs",
+    "load_generated_module",
+    "generate_python_sequential",
+    "run_generated_sequential",
+]

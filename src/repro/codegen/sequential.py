@@ -1,0 +1,125 @@
+"""Sequential tiled code generation (paper §2.3 / their ref [7]).
+
+Emits the 2n-deep loop: the ``n`` outer loops enumerate tiles with
+Fourier-Motzkin bounds over the joint (tile, point) polyhedron; the
+``n`` inner loops traverse the TTIS with strides ``c_k`` and incremental
+offsets ``a_kl`` read off the Hermite Normal Form of ``H'``, plus the
+boundary min/max correction against the original space.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.codegen.exprs import C_PROLOGUE, bound_to_c
+from repro.linalg.ratmat import RatMat
+from repro.loops.nest import LoopNest
+from repro.tiling.transform import TilingTransformation
+
+
+def _indent(lines: List[str], depth: int) -> List[str]:
+    return ["    " * depth + l for l in lines]
+
+
+def _ref_to_c(ref, n: int) -> str:
+    """Render ``A[F j + f]`` with one bracket per array dimension."""
+    fm = ref.access_matrix().to_int_rows()
+    dims = []
+    for i in range(len(ref.offset)):
+        terms = []
+        for j in range(n):
+            k = fm[i][j]
+            if k == 1:
+                terms.append(f"j{j}")
+            elif k == -1:
+                terms.append(f"-j{j}")
+            elif k != 0:
+                terms.append(f"{k}*j{j}")
+        off = ref.offset[i]
+        if off != 0 or not terms:
+            terms.append(str(off))
+        dims.append("[" + " + ".join(terms).replace("+ -", "- ") + "]")
+    return ref.array + "".join(dims)
+
+
+def generate_sequential_tiled_code(nest: LoopNest, h: RatMat) -> str:
+    """C-like source for the sequential tiled execution of ``nest``."""
+    tiling = TilingTransformation(h, nest.domain)
+    n = tiling.n
+    ttis = tiling.ttis
+    hnf = ttis.hnf.to_int_rows()
+    tile_bounds = tiling.tile_space_bounds()
+    ts_names = [f"jS{k}" for k in range(n)]
+    tt_names = [f"jp{k}" for k in range(n)]
+
+    out: List[str] = [C_PROLOGUE]
+    out.append(f"/* Sequential tiled code for '{nest.name}': "
+               f"tile volume {ttis.tile_volume}, strides {ttis.c} */")
+    depth = 0
+    # --- n outer tile loops ------------------------------------------------
+    for k in range(n):
+        lo = bound_to_c(tile_bounds[k], ts_names[:k], "lower")
+        hi = bound_to_c(tile_bounds[k], ts_names[:k], "upper")
+        out += _indent(
+            [f"for (long {ts_names[k]} = {lo}; "
+             f"{ts_names[k]} <= {hi}; {ts_names[k]}++) {{"], depth)
+        depth += 1
+    # Tile origin P jS.
+    p = tiling.p.to_int_rows()
+    origin = []
+    for i in range(n):
+        terms = [f"{p[i][j]}*{ts_names[j]}" for j in range(n) if p[i][j]]
+        origin.append(" + ".join(terms) if terms else "0")
+    out += _indent([f"long o{i} = {origin[i]};" for i in range(n)], depth)
+    # --- n inner TTIS loops ---------------------------------------------------
+    # j'_k runs over phase(k) + c_k * step, phase from outer HNF coefficients.
+    for k in range(n):
+        ck = ttis.c[k]
+        phase_terms = [f"{hnf[k][l]}*x{l}" for l in range(k) if hnf[k][l]]
+        phase = " + ".join(phase_terms) if phase_terms else "0"
+        body = [
+            f"long ph{k} = {phase};",
+            f"long lo{k} = ((ph{k} % {ck}) + {ck}) % {ck};  "
+            f"/* smallest admissible j'_{k} */",
+            f"for (long {tt_names[k]} = lo{k}; {tt_names[k]} < {ttis.v[k]}; "
+            f"{tt_names[k]} += {ck}) {{",
+        ]
+        out += _indent(body, depth)
+        depth += 1
+        out += _indent(
+            [f"long x{k} = ({tt_names[k]} - ph{k}) / {ck};"], depth)
+    # Global point j = P jS + P' j' and boundary guard.
+    ppd = ttis.p_prime
+    den = 1
+    from math import gcd
+    for row in ppd.rows():
+        for x in row:
+            den = den * x.denominator // gcd(den, x.denominator)
+    pp = [[int(x * den) for x in row] for row in ppd.rows()]
+    for i in range(n):
+        terms = [f"{pp[i][j]}*{tt_names[j]}" for j in range(n) if pp[i][j]]
+        expr = " + ".join(terms) if terms else "0"
+        out += _indent(
+            [f"long j{i} = o{i} + ({expr}) / {den};"], depth)
+    guards = []
+    for c in nest.domain.normalized().constraints:
+        dd = 1
+        for x in c.a:
+            dd = dd * x.denominator // gcd(dd, x.denominator)
+        dd = dd * c.b.denominator // gcd(dd, c.b.denominator)
+        terms = [f"{int(a * dd)}*j{i}" for i, a in enumerate(c.a)
+                 if a != 0]
+        lhs = " + ".join(terms) if terms else "0"
+        guards.append(f"({lhs}) <= {int(c.b * dd)}")
+    out += _indent([f"if ({' && '.join(guards)}) {{"], depth)
+    depth += 1
+    for s in nest.statements:
+        args = ", ".join(_ref_to_c(r, n) for r in s.reads)
+        out += _indent(
+            [f"{_ref_to_c(s.write, n)} = F_{s.write.array}({args});"], depth)
+    depth -= 1
+    out += _indent(["}"], depth)
+    while depth > 0:
+        depth -= 1
+        out += _indent(["}"], depth)
+    return "\n".join(out) + "\n"

@@ -1,0 +1,32 @@
+"""Computation & data distribution and communication sets (paper §3).
+
+* :mod:`repro.distribution.computation` — map tile chains along the
+  longest tile-space dimension to processors (``pid`` = the remaining
+  ``n-1`` tile coordinates).
+* :mod:`repro.distribution.data` — the Local Data Space (LDS) and the
+  ``map / map⁻¹ / loc / loc⁻¹`` address translations of Tables 1-2.
+* :mod:`repro.distribution.communication` — the communication vector
+  ``CC``, LDS halo offsets, processor dependencies ``D^m`` and the
+  pack/unpack index sets of the RECEIVE/SEND schemes (§3.2).
+"""
+
+from repro.distribution.computation import ComputationDistribution
+from repro.distribution.data import LocalDataSpace, DistributedAddressing
+from repro.distribution.communication import CommunicationSpec
+from repro.distribution.memory import (
+    MemoryReport,
+    ProcessorFootprint,
+    footprint_of,
+    memory_report,
+)
+
+__all__ = [
+    "ComputationDistribution",
+    "LocalDataSpace",
+    "DistributedAddressing",
+    "CommunicationSpec",
+    "MemoryReport",
+    "ProcessorFootprint",
+    "footprint_of",
+    "memory_report",
+]

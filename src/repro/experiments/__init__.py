@@ -1,0 +1,22 @@
+"""Experiment harness reproducing the paper's §4 figures.
+
+``figures`` has one driver per paper figure (5-10); each returns the
+series the figure plots (speedups per iteration space / tile size), and
+``report`` renders them as ASCII tables.  The shape expectations —
+non-rectangular beats rectangular everywhere, ADI ordering
+``nr3 > nr1 ~ nr2 > r`` — are asserted by the benchmark suite.
+"""
+
+from repro.experiments.harness import ExperimentResult, run_experiment
+from repro.experiments.spaces import tile_count_extent, processor_grid_sizes
+from repro.experiments import figures
+from repro.experiments.report import format_table
+
+__all__ = [
+    "ExperimentResult",
+    "run_experiment",
+    "tile_count_extent",
+    "processor_grid_sizes",
+    "figures",
+    "format_table",
+]

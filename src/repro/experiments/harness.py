@@ -1,0 +1,64 @@
+"""Run one (app, tiling, cluster) experiment and report speedup.
+
+Speedup is measured the way the paper measures it: simulated parallel
+completion time against the sequential execution of the same iteration
+count under the same per-iteration cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.base import TiledApp
+from repro.linalg.ratmat import RatMat
+from repro.runtime.executor import DistributedRun, TiledProgram
+from repro.runtime.machine import ClusterSpec, FAST_ETHERNET_CLUSTER
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One row of a paper figure."""
+
+    app: str
+    tiling: str
+    tile_volume: int
+    processors: int
+    total_points: int
+    t_seq: float
+    t_par: float
+    messages: int
+    elements: int
+
+    @property
+    def speedup(self) -> float:
+        return self.t_seq / self.t_par
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup / self.processors
+
+    def row(self) -> tuple:
+        return (self.app, self.tiling, self.tile_volume, self.processors,
+                round(self.speedup, 3))
+
+
+def run_experiment(app: TiledApp, h: RatMat, label: str,
+                   spec: Optional[ClusterSpec] = None) -> ExperimentResult:
+    """Compile ``app`` under tiling ``h`` and simulate the parallel run."""
+    spec = spec or FAST_ETHERNET_CLUSTER
+    prog = TiledProgram(app.nest, h, mapping_dim=app.mapping_dim)
+    stats = DistributedRun(prog, spec).simulate()
+    total = prog.total_points()
+    t_seq = spec.compute_time(total)
+    return ExperimentResult(
+        app=app.name,
+        tiling=label,
+        tile_volume=prog.tiling.tile_volume(),
+        processors=prog.num_processors,
+        total_points=total,
+        t_seq=t_seq,
+        t_par=stats.makespan,
+        messages=stats.total_messages,
+        elements=stats.total_elements,
+    )

@@ -1,0 +1,206 @@
+"""Self-contained HTML/SVG reports of experiment figures.
+
+Renders :class:`~repro.experiments.figures.FigureResult` series as
+inline-SVG line charts inside a single dependency-free HTML file —
+the shareable artifact of a reproduction run.
+
+Design notes (following the repository's data-viz conventions):
+
+* one y-axis; 2px round-capped lines; >=8px markers with a 2px
+  surface-colored ring; hairline solid gridlines;
+* categorical series colors assigned in a fixed validated order
+  (blue, aqua, yellow, green — worst adjacent CVD deltaE 24.2), with
+  light and dark steps selected per mode via CSS custom properties;
+* a legend for >=2 series plus direct labels at line ends; axis and
+  label text always in text tokens, never the series color;
+* two of the light-mode hues sit below 3:1 contrast on the surface, so
+  every chart ships with its data table underneath (the relief rule).
+"""
+
+from __future__ import annotations
+
+import html as _html
+import math
+from typing import List, Sequence
+
+from repro.experiments.figures import FigureResult
+
+#: Fixed categorical order — never cycled; 4 slots cover every figure.
+SERIES_LIGHT = ("#2a78d6", "#1baf7a", "#eda100", "#008300")
+SERIES_DARK = ("#3987e5", "#199e70", "#c98500", "#008300")
+
+_CSS = """\
+:root { color-scheme: light dark; }
+.viz-root {
+  --surface-1: #fcfcfb;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --grid: #e8e8e6;
+  --series-1: #2a78d6; --series-2: #1baf7a;
+  --series-3: #eda100; --series-4: #008300;
+  background: var(--surface-1);
+  color: var(--text-primary);
+  font: 14px/1.45 system-ui, sans-serif;
+  max-width: 860px; margin: 0 auto; padding: 24px;
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    --surface-1: #1a1a19;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --grid: #32322f;
+    --series-1: #3987e5; --series-2: #199e70;
+    --series-3: #c98500; --series-4: #008300;
+  }
+}
+h1 { font-size: 20px; }
+h2 { font-size: 16px; margin: 32px 0 4px; }
+p.sub { color: var(--text-secondary); margin: 0 0 12px; }
+svg text { fill: var(--text-primary); font: 12px system-ui, sans-serif; }
+svg text.sec { fill: var(--text-secondary); }
+table { border-collapse: collapse; margin: 8px 0 24px; }
+th, td { padding: 3px 12px 3px 0; text-align: right;
+         font-variant-numeric: tabular-nums; }
+th { color: var(--text-secondary); font-weight: 600; }
+td:first-child, th:first-child { text-align: left; }
+.legend { display: flex; gap: 16px; margin: 6px 0; flex-wrap: wrap; }
+.legend span { display: inline-flex; align-items: center; gap: 6px;
+               color: var(--text-secondary); }
+.key { width: 14px; height: 3px; border-radius: 2px; display: inline-block; }
+"""
+
+
+def _nice_max(v: float) -> float:
+    """Round up to a clean tick ceiling (1/2/5 x 10^k)."""
+    if v <= 0:
+        return 1.0
+    mag = 10 ** math.floor(math.log10(v))
+    for mult in (1, 2, 5, 10):
+        if mult * mag >= v:
+            return mult * mag
+    return 10 * mag
+
+
+def figure_to_svg(fig: FigureResult, width: int = 640,
+                  height: int = 320) -> str:
+    """One figure as an inline SVG line chart (series = tilings)."""
+    xs: List[object] = []
+    for s in fig.series:
+        for x, _ in s.points:
+            if x not in xs:
+                xs.append(x)
+    if not xs:
+        raise ValueError("figure has no points")
+    maps = fig.series_map()
+    ymax = _nice_max(max(v for s in fig.series for _, v in s.points))
+    n_ticks = 4
+    ml, mr, mt, mb = 46, 110, 12, 34
+    pw, ph = width - ml - mr, height - mt - mb
+
+    def xpos(i: int) -> float:
+        if len(xs) == 1:
+            return ml + pw / 2
+        return ml + pw * i / (len(xs) - 1)
+
+    def ypos(v: float) -> float:
+        return mt + ph * (1 - v / ymax)
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="{_html.escape(fig.title)}">',
+    ]
+    # gridlines + y ticks (clean numbers)
+    for t in range(n_ticks + 1):
+        v = ymax * t / n_ticks
+        y = ypos(v)
+        parts.append(
+            f'<line x1="{ml}" y1="{y:.1f}" x2="{ml + pw}" y2="{y:.1f}" '
+            f'stroke="var(--grid)" stroke-width="1"/>')
+        parts.append(
+            f'<text class="sec" x="{ml - 8}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{v:g}</text>')
+    # x ticks
+    for i, x in enumerate(xs):
+        parts.append(
+            f'<text class="sec" x="{xpos(i):.1f}" y="{height - 12}" '
+            f'text-anchor="middle">{_html.escape(str(x))}</text>')
+    parts.append(
+        f'<text class="sec" x="{ml + pw / 2:.1f}" y="{height - 0.5}" '
+        f'font-size="11" text-anchor="middle">'
+        f'{_html.escape(fig.xlabel)}</text>')
+    # series: line, ringed markers, direct end label.  Converging series
+    # (ADI's nr1/nr2) would collide at the right edge; per the direct-
+    # label rule we drop the colliding label and let the legend +
+    # tooltip carry it rather than stacking detached text.
+    placed_label_ys: List[float] = []
+    for si, s in enumerate(fig.series):
+        color = f"var(--series-{si + 1})"
+        pts = [(i, maps[s.label].get(x)) for i, x in enumerate(xs)
+               if maps[s.label].get(x) is not None]
+        path = " ".join(
+            f"{'M' if k == 0 else 'L'}{xpos(i):.1f},{ypos(v):.1f}"
+            for k, (i, v) in enumerate(pts))
+        parts.append(
+            f'<path d="{path}" fill="none" stroke="{color}" '
+            f'stroke-width="2" stroke-linecap="round" '
+            f'stroke-linejoin="round"/>')
+        for i, v in pts:
+            parts.append(
+                f'<circle cx="{xpos(i):.1f}" cy="{ypos(v):.1f}" r="4" '
+                f'fill="{color}" stroke="var(--surface-1)" '
+                f'stroke-width="2"><title>{_html.escape(s.label)} @ '
+                f'{_html.escape(str(xs[i]))}: {v:.3f}</title></circle>')
+        li, lv = pts[-1]
+        label_y = ypos(lv) + 4
+        if all(abs(label_y - y) >= 14 for y in placed_label_ys):
+            placed_label_ys.append(label_y)
+            parts.append(
+                f'<text x="{xpos(li) + 10:.1f}" y="{label_y:.1f}">'
+                f'{_html.escape(s.label)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _table(fig: FigureResult) -> str:
+    maps = fig.series_map()
+    xs: List[object] = []
+    for s in fig.series:
+        for x, _ in s.points:
+            if x not in xs:
+                xs.append(x)
+    head = "".join(f"<th>{_html.escape(s.label)}</th>" for s in fig.series)
+    rows = []
+    for x in xs:
+        cells = "".join(
+            f"<td>{maps[s.label].get(x, float('nan')):.3f}</td>"
+            for s in fig.series)
+        rows.append(f"<tr><td>{_html.escape(str(x))}</td>{cells}</tr>")
+    return (f'<table><thead><tr><th>{_html.escape(fig.xlabel)}</th>'
+            f"{head}</tr></thead><tbody>{''.join(rows)}</tbody></table>")
+
+
+def _legend(fig: FigureResult) -> str:
+    if len(fig.series) < 2:
+        return ""
+    keys = "".join(
+        f'<span><i class="key" style="background:var(--series-{i + 1})">'
+        f"</i>{_html.escape(s.label)}</span>"
+        for i, s in enumerate(fig.series))
+    return f'<div class="legend">{keys}</div>'
+
+
+def report_html(figs: Sequence[FigureResult],
+                title: str = "Tiled-cluster reproduction report") -> str:
+    """A complete standalone HTML report for a list of figures."""
+    body = [f"<h1>{_html.escape(title)}</h1>",
+            "<p class='sub'>Simulated speedups; see EXPERIMENTS.md for "
+            "the cost model and paper-vs-measured discussion.</p>"]
+    for fig in figs:
+        body.append(f"<h2>{_html.escape(fig.title)}</h2>")
+        body.append(_legend(fig))
+        body.append(figure_to_svg(fig))
+        body.append(_table(fig))
+    return ("<!doctype html><html><head><meta charset='utf-8'>"
+            f"<title>{_html.escape(title)}</title>"
+            f"<style>{_CSS}</style></head>"
+            f"<body class='viz-root'>{''.join(body)}</body></html>")

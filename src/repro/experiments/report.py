@@ -1,0 +1,62 @@
+"""ASCII rendering of figure results (the harness's 'plots')."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.figures import FigureResult
+
+
+def format_table(fig: FigureResult) -> str:
+    """One row per x-value, one column per series — the figure as text."""
+    xs: List[object] = []
+    for s in fig.series:
+        for x, _ in s.points:
+            if x not in xs:
+                xs.append(x)
+    labels = [s.label for s in fig.series]
+    maps = fig.series_map()
+    widths = [max(len(str(fig.xlabel)), *(len(str(x)) for x in xs))]
+    widths += [max(len(l), 8) for l in labels]
+    header = [fig.xlabel] + labels
+    lines = [fig.title,
+             "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+             "  ".join("-" * w for w in widths)]
+    for x in xs:
+        row = [str(x).ljust(widths[0])]
+        for l, w in zip(labels, widths[1:]):
+            v = maps[l].get(x)
+            row.append(("-" if v is None else f"{v:.3f}").ljust(w))
+        lines.append("  ".join(row))
+    return "\n".join(lines)
+
+
+def to_csv(fig: FigureResult) -> str:
+    """The figure's series as CSV (x, then one column per series)."""
+    xs: List[object] = []
+    for s in fig.series:
+        for x, _ in s.points:
+            if x not in xs:
+                xs.append(x)
+    maps = fig.series_map()
+    labels = [s.label for s in fig.series]
+    lines = [",".join(["x"] + labels)]
+    for x in xs:
+        row = [str(x)]
+        for l in labels:
+            v = maps[l].get(x)
+            row.append("" if v is None else f"{v:.6f}")
+        lines.append(",".join(row))
+    return "\n".join(lines) + "\n"
+
+
+def improvement_percent(fig: FigureResult, base: str, better: str) -> float:
+    """Mean percentage speedup improvement of ``better`` over ``base``
+    across the shared x-values — the paper's '17.3 % average' metric."""
+    maps = fig.series_map()
+    b, g = maps[base], maps[better]
+    common = [x for x in b if x in g]
+    if not common:
+        raise ValueError("series share no x-values")
+    gains = [(g[x] - b[x]) / b[x] * 100.0 for x in common]
+    return sum(gains) / len(gains)

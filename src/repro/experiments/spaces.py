@@ -1,0 +1,50 @@
+"""Choosing tile extents so the processor grid matches the paper's 16.
+
+The paper holds the tile extents on the processor dimensions constant
+"such that the required number of MPI processes would be 16".  Given an
+index range ``[lo, hi]`` of the (possibly skewed) iteration space, this
+module finds the smallest extent ``s`` whose tiling ``floor(idx / s)``
+produces exactly ``count`` tiles — which is what pins the processor
+mesh to ``4 x 4``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def tile_count_extent(lo: int, hi: int, count: int) -> int:
+    """Smallest ``s >= 1`` with ``floor(hi/s) - floor(lo/s) + 1 == count``.
+
+    Raises when no extent yields exactly ``count`` tiles (possible for
+    awkward ranges; callers then adjust the space, as the paper's
+    authors implicitly did when picking their x, y factors).
+    """
+    if hi < lo:
+        raise ValueError("empty index range")
+    span = hi - lo + 1
+    if count < 1 or count > span:
+        raise ValueError(f"cannot cut [{lo},{hi}] into {count} tile rows")
+    # count == 1 with lo >= 0 needs s > hi (both indices in tile 0), so
+    # the search range extends past the span.
+    upper = max(span + 2, abs(hi) + 2)
+    for s in range(max(1, span // (count + 1)), upper):
+        tiles = hi // s - lo // s + 1  # Python floor division (also lo<0)
+        if tiles == count:
+            return s
+    raise ValueError(
+        f"no extent produces exactly {count} tile rows over [{lo},{hi}]"
+    )
+
+
+def processor_grid_sizes(ranges: Sequence[Tuple[int, int]],
+                         grid: Sequence[int]) -> List[int]:
+    """Extents for each processor dimension given target grid shape.
+
+    ``ranges[k]`` is the (lo, hi) of the iteration-space index mapped to
+    processor dimension ``k``; ``grid[k]`` the desired tile-row count.
+    """
+    if len(ranges) != len(grid):
+        raise ValueError("one grid factor per range required")
+    return [tile_count_extent(lo, hi, g)
+            for (lo, hi), g in zip(ranges, grid)]

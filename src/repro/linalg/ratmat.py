@@ -1,0 +1,303 @@
+"""Exact rational matrices built on :class:`fractions.Fraction`.
+
+``RatMat`` is a small, immutable, dependency-free exact matrix type.  It
+is deliberately *not* numpy-backed: the matrices in this compiler are at
+most a handful of rows (the loop depth ``n`` is 2-4 in practice) and the
+cost of exactness is irrelevant next to the cost of a wrong stride.
+
+The public constructors accept ints, :class:`fractions.Fraction`, or
+strings like ``"1/3"`` so that tiling matrices can be written the way the
+paper writes them::
+
+    H = from_rows([["1/8", 0, 0], [0, "1/8", 0], ["-1/8", 0, "1/8"]])
+"""
+
+from __future__ import annotations
+
+import operator
+from fractions import Fraction
+from math import gcd
+from typing import Iterable, List, Sequence, Tuple, Union
+
+Scalar = Union[int, Fraction, str]
+
+
+def rat(x: Scalar) -> Fraction:
+    """Coerce ``x`` into an exact :class:`Fraction`.
+
+    Floats are rejected on purpose: a float that *looks* like ``1/3``
+    is not ``1/3``, and silently accepting it would poison every exact
+    computation downstream.
+    """
+    if isinstance(x, Fraction):
+        return x
+    if isinstance(x, bool):  # bool is an int subclass; be strict anyway
+        return Fraction(int(x))
+    if isinstance(x, int):
+        return Fraction(x)
+    if isinstance(x, str):
+        return Fraction(x)
+    try:
+        # Integer-likes (numpy int64, ...) via the index protocol —
+        # floats don't implement it, so exactness is preserved.
+        return Fraction(operator.index(x))
+    except TypeError:
+        pass
+    raise TypeError(f"cannot build an exact rational from {type(x).__name__}: {x!r}")
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple of two positive integers."""
+    if a == 0 or b == 0:
+        return 0
+    return abs(a * b) // gcd(a, b)
+
+
+class RatMat:
+    """An immutable exact rational matrix.
+
+    Supports the operations the tiling framework needs: multiplication,
+    inverse, determinant, transpose, row/column access, integer checks
+    and conversion to nested-int form.  Instances hash and compare by
+    value.
+    """
+
+    __slots__ = ("_rows", "_shape")
+
+    def __init__(self, rows: Iterable[Iterable[Scalar]]):
+        data: Tuple[Tuple[Fraction, ...], ...] = tuple(
+            tuple(rat(x) for x in row) for row in rows
+        )
+        if not data:
+            raise ValueError("RatMat must have at least one row")
+        width = len(data[0])
+        if width == 0:
+            raise ValueError("RatMat must have at least one column")
+        for row in data:
+            if len(row) != width:
+                raise ValueError("ragged rows in RatMat")
+        self._rows = data
+        self._shape = (len(data), width)
+
+    # -- basic introspection ------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def nrows(self) -> int:
+        return self._shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self._shape[1]
+
+    def is_square(self) -> bool:
+        return self.nrows == self.ncols
+
+    def __getitem__(self, idx: Tuple[int, int]) -> Fraction:
+        i, j = idx
+        return self._rows[i][j]
+
+    def row(self, i: int) -> Tuple[Fraction, ...]:
+        return self._rows[i]
+
+    def col(self, j: int) -> Tuple[Fraction, ...]:
+        return tuple(row[j] for row in self._rows)
+
+    def rows(self) -> Tuple[Tuple[Fraction, ...], ...]:
+        return self._rows
+
+    # -- equality / hashing / repr -------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RatMat):
+            return NotImplemented
+        return self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash(self._rows)
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            "[" + ", ".join(str(x) for x in row) + "]" for row in self._rows
+        )
+        return f"RatMat([{body}])"
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def __add__(self, other: "RatMat") -> "RatMat":
+        self._check_same_shape(other)
+        return RatMat(
+            tuple(a + b for a, b in zip(ra, rb))
+            for ra, rb in zip(self._rows, other._rows)
+        )
+
+    def __sub__(self, other: "RatMat") -> "RatMat":
+        self._check_same_shape(other)
+        return RatMat(
+            tuple(a - b for a, b in zip(ra, rb))
+            for ra, rb in zip(self._rows, other._rows)
+        )
+
+    def __neg__(self) -> "RatMat":
+        return RatMat(tuple(-a for a in row) for row in self._rows)
+
+    def scale(self, k: Scalar) -> "RatMat":
+        kk = rat(k)
+        return RatMat(tuple(kk * a for a in row) for row in self._rows)
+
+    def __matmul__(self, other: "RatMat") -> "RatMat":
+        if self.ncols != other.nrows:
+            raise ValueError(
+                f"shape mismatch for matmul: {self.shape} @ {other.shape}"
+            )
+        ocols = other.ncols
+        out: List[Tuple[Fraction, ...]] = []
+        for row in self._rows:
+            out.append(
+                tuple(
+                    sum((row[k] * other._rows[k][j] for k in range(self.ncols)),
+                        Fraction(0))
+                    for j in range(ocols)
+                )
+            )
+        return RatMat(out)
+
+    def matvec(self, v: Sequence[Scalar]) -> Tuple[Fraction, ...]:
+        """Matrix-vector product with an exact result tuple."""
+        if len(v) != self.ncols:
+            raise ValueError(f"vector length {len(v)} != ncols {self.ncols}")
+        vv = [rat(x) for x in v]
+        return tuple(
+            sum((row[k] * vv[k] for k in range(self.ncols)), Fraction(0))
+            for row in self._rows
+        )
+
+    def transpose(self) -> "RatMat":
+        return RatMat(
+            tuple(self._rows[i][j] for i in range(self.nrows))
+            for j in range(self.ncols)
+        )
+
+    # -- solving / inverse ------------------------------------------------------
+
+    def det(self) -> Fraction:
+        """Determinant via fraction-exact Gaussian elimination."""
+        if not self.is_square():
+            raise ValueError("determinant of a non-square matrix")
+        n = self.nrows
+        a = [list(row) for row in self._rows]
+        detv = Fraction(1)
+        for col in range(n):
+            pivot_row = next(
+                (r for r in range(col, n) if a[r][col] != 0), None
+            )
+            if pivot_row is None:
+                return Fraction(0)
+            if pivot_row != col:
+                a[col], a[pivot_row] = a[pivot_row], a[col]
+                detv = -detv
+            pivot = a[col][col]
+            detv *= pivot
+            for r in range(col + 1, n):
+                if a[r][col] != 0:
+                    factor = a[r][col] / pivot
+                    for c in range(col, n):
+                        a[r][c] -= factor * a[col][c]
+        return detv
+
+    def inverse(self) -> "RatMat":
+        """Exact inverse via Gauss-Jordan; raises if singular."""
+        if not self.is_square():
+            raise ValueError("inverse of a non-square matrix")
+        n = self.nrows
+        a = [list(row) + [Fraction(int(i == j)) for j in range(n)]
+             for i, row in enumerate(self._rows)]
+        for col in range(n):
+            pivot_row = next(
+                (r for r in range(col, n) if a[r][col] != 0), None
+            )
+            if pivot_row is None:
+                raise ZeroDivisionError("matrix is singular")
+            if pivot_row != col:
+                a[col], a[pivot_row] = a[pivot_row], a[col]
+            pivot = a[col][col]
+            a[col] = [x / pivot for x in a[col]]
+            for r in range(n):
+                if r != col and a[r][col] != 0:
+                    factor = a[r][col]
+                    a[r] = [x - factor * y for x, y in zip(a[r], a[col])]
+        return RatMat(tuple(row[n:]) for row in a)
+
+    def solve(self, b: Sequence[Scalar]) -> Tuple[Fraction, ...]:
+        """Solve ``A x = b`` exactly (square, nonsingular ``A``)."""
+        return self.inverse().matvec(b)
+
+    # -- integrality ----------------------------------------------------------
+
+    def is_integer(self) -> bool:
+        return all(x.denominator == 1 for row in self._rows for x in row)
+
+    def to_int_rows(self) -> Tuple[Tuple[int, ...], ...]:
+        """Return nested-int form; raises if any entry is fractional."""
+        if not self.is_integer():
+            raise ValueError(f"matrix has non-integer entries: {self!r}")
+        return tuple(tuple(int(x) for x in row) for row in self._rows)
+
+    def denominator_lcm_per_row(self) -> Tuple[int, ...]:
+        """For each row, the lcm of entry denominators.
+
+        This is exactly the diagonal of the paper's matrix ``V``: the
+        smallest positive integer ``v_kk`` such that ``v_kk * h_k`` is an
+        integer vector.
+        """
+        out = []
+        for row in self._rows:
+            m = 1
+            for x in row:
+                m = lcm(m, x.denominator)
+            out.append(m)
+        return tuple(out)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _check_same_shape(self, other: "RatMat") -> None:
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+
+    def with_row(self, i: int, new_row: Sequence[Scalar]) -> "RatMat":
+        rows = list(self._rows)
+        rows[i] = tuple(rat(x) for x in new_row)
+        return RatMat(rows)
+
+    def hstack(self, other: "RatMat") -> "RatMat":
+        if self.nrows != other.nrows:
+            raise ValueError("hstack requires equal row counts")
+        return RatMat(ra + rb for ra, rb in zip(self._rows, other._rows))
+
+    def vstack(self, other: "RatMat") -> "RatMat":
+        if self.ncols != other.ncols:
+            raise ValueError("vstack requires equal column counts")
+        return RatMat(self._rows + other._rows)
+
+
+def from_rows(rows: Iterable[Iterable[Scalar]]) -> RatMat:
+    """Public constructor mirroring the paper's row-wise matrix notation."""
+    return RatMat(rows)
+
+
+def identity(n: int) -> RatMat:
+    return RatMat(
+        tuple(Fraction(int(i == j)) for j in range(n)) for i in range(n)
+    )
+
+
+def diag(entries: Sequence[Scalar]) -> RatMat:
+    es = [rat(x) for x in entries]
+    n = len(es)
+    return RatMat(
+        tuple(es[i] if i == j else Fraction(0) for j in range(n))
+        for i in range(n)
+    )

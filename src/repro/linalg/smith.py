@@ -1,0 +1,111 @@
+"""Smith Normal Form of integer matrices.
+
+Used for lattice structure queries: the Smith form ``S = U @ A @ V``
+(``U``, ``V`` unimodular, ``S`` diagonal with ``s_1 | s_2 | ...``)
+gives the group structure of ``Z^n / A Z^n``, whose order
+``s_1 * ... * s_n = |det A|`` is the number of TTIS lattice classes —
+a cross-check on tile volume used by the property tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.linalg.ratmat import RatMat
+from repro.linalg.hermite import _to_int_rows, _ext_gcd
+
+
+def smith_normal_form(a) -> Tuple[RatMat, RatMat, RatMat]:
+    """Return ``(S, U, V)`` with ``S = U @ A @ V`` in Smith Normal Form.
+
+    ``A`` may be any square integer matrix (``RatMat`` or nested ints).
+    ``S`` is diagonal with non-negative entries and each diagonal entry
+    divides the next.
+    """
+    s = _to_int_rows(a)
+    n = len(s)
+    if any(len(r) != n for r in s):
+        raise ValueError("smith_normal_form requires a square matrix")
+    u = [[int(i == j) for j in range(n)] for i in range(n)]
+    v = [[int(i == j) for j in range(n)] for i in range(n)]
+
+    def row_combine(i1: int, i2: int, m11: int, m12: int, m21: int, m22: int):
+        for mat in (s, u):
+            r1 = mat[i1][:]
+            r2 = mat[i2][:]
+            mat[i1] = [m11 * x + m12 * y for x, y in zip(r1, r2)]
+            mat[i2] = [m21 * x + m22 * y for x, y in zip(r1, r2)]
+
+    def col_combine(j1: int, j2: int, m11: int, m21: int, m12: int, m22: int):
+        for mat in (s, v):
+            for r in mat:
+                c1, c2 = r[j1], r[j2]
+                r[j1] = m11 * c1 + m21 * c2
+                r[j2] = m12 * c1 + m22 * c2
+
+    for k in range(n):
+        while True:
+            # Move a nonzero pivot into (k, k) if one exists.
+            pivot = None
+            for i in range(k, n):
+                for j in range(k, n):
+                    if s[i][j] != 0:
+                        pivot = (i, j)
+                        break
+                if pivot:
+                    break
+            if pivot is None:
+                break  # remaining block is all zero
+            pi, pj = pivot
+            if pi != k:
+                s[k], s[pi] = s[pi], s[k]
+                u[k], u[pi] = u[pi], u[k]
+            if pj != k:
+                for mat in (s, v):
+                    for r in mat:
+                        r[k], r[pj] = r[pj], r[k]
+            # Clear row k and column k.  When the pivot divides the
+            # element use plain elimination — a general Bezout
+            # combination there can *swap* rows/columns (ext_gcd(1,1)
+            # returns (1,0,1)) and oscillate forever between the row
+            # and column passes.
+            dirty = False
+            for i in range(k + 1, n):
+                if s[i][k] != 0:
+                    akk, aik = s[k][k], s[i][k]
+                    if aik % akk == 0:
+                        q = aik // akk
+                        row_combine(k, i, 1, 0, -q, 1)
+                    else:
+                        g, x, y = _ext_gcd(akk, aik)
+                        row_combine(k, i, x, y, -(aik // g), akk // g)
+                    dirty = True
+            for j in range(k + 1, n):
+                if s[k][j] != 0:
+                    akk, akj = s[k][k], s[k][j]
+                    if akj % akk == 0:
+                        q = akj // akk
+                        # col_j -= q col_k; col_k unchanged
+                        col_combine(k, j, 1, 0, -q, 1)
+                    else:
+                        g, x, y = _ext_gcd(akk, akj)
+                        col_combine(k, j, x, y, -(akj // g), akk // g)
+                    dirty = True
+            if not dirty:
+                # Pivot must divide every remaining entry; if not, fold the
+                # offending row in and repeat.
+                bad = None
+                for i in range(k + 1, n):
+                    for j in range(k + 1, n):
+                        if s[k][k] != 0 and s[i][j] % s[k][k] != 0:
+                            bad = i
+                            break
+                    if bad is not None:
+                        break
+                if bad is None:
+                    break
+                row_combine(k, bad, 1, 1, 0, 1)  # add row `bad` to row k
+        if s[k][k] < 0:
+            s[k] = [-x for x in s[k]]
+            u[k] = [-x for x in u[k]]
+    return RatMat(s), RatMat(u), RatMat(v)

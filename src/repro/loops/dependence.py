@@ -1,0 +1,111 @@
+"""Uniform dependence extraction and validation.
+
+With a single-assignment statement ``A[f_w(j)] := F(A[f_w(j - d_1)],
+...)`` (paper §2.1), every flow dependence is exactly one of the
+translation vectors ``d_i``; this module recovers them from the array
+references and checks the model's preconditions (uniformity,
+lexicographic positivity).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.loops.reference import ArrayRef
+
+
+def uniform_dependences(write: ArrayRef,
+                        reads: Sequence[ArrayRef]) -> Tuple[Tuple[int, ...], ...]:
+    """Dependence vectors implied by ``write`` vs each read reference.
+
+    A read ``A[F j + f_r]`` of the array written as ``A[F j + f_w]``
+    reads the value produced at iteration ``j - d`` where
+    ``F d = f_w - f_r``; for the identity access matrix this is simply
+    ``d = f_w - f_r``.  Reads of other arrays (pure inputs) contribute
+    no dependence.
+    """
+    out = []
+    for r in reads:
+        if r.array != write.array:
+            continue  # input array, never written: no flow dependence
+        if not r.is_uniform_translate_of(write):
+            raise ValueError(
+                f"read {r} is not a uniform translate of the write {write}; "
+                "the algorithm model (paper §2.1) requires uniform dependencies"
+            )
+        fm = write.access_matrix()
+        diff = tuple(a - b for a, b in zip(write.offset, r.offset))
+        d = fm.solve(diff)
+        if any(x.denominator != 1 for x in d):
+            raise ValueError(
+                f"dependence of read {r} is not integral: {d}"
+            )
+        dv = tuple(int(x) for x in d)
+        if any(dv):
+            out.append(dv)
+    return tuple(out)
+
+
+def nest_dependences(statements) -> Tuple[Tuple[int, ...], ...]:
+    """All uniform flow dependences of a multi-statement nest.
+
+    Considers every read of an array that *some* statement writes:
+    a read ``A[F j + f_r]`` against write ``A[F j + f_w]`` contributes
+    ``d`` with ``F d = f_w - f_r``, whichever statement does the
+    writing.  Duplicates are merged; order is deterministic.
+    """
+    writes = {}
+    for s in statements:
+        writes[s.write.array] = s.write
+    seen = []
+    for s in statements:
+        for r in s.reads:
+            w = writes.get(r.array)
+            if w is None:
+                continue
+            if not r.is_uniform_translate_of(w):
+                raise ValueError(
+                    f"read {r} is not a uniform translate of write {w}"
+                )
+            fm = w.access_matrix()
+            diff = tuple(a - b for a, b in zip(w.offset, r.offset))
+            d = fm.solve(diff)
+            if any(x.denominator != 1 for x in d):
+                raise ValueError(f"non-integral dependence for read {r}")
+            dv = tuple(int(x) for x in d)
+            if any(dv) and dv not in seen:
+                seen.append(dv)
+    return tuple(seen)
+
+
+def dependence_matrix(deps: Sequence[Sequence[int]]) -> Tuple[Tuple[int, ...], ...]:
+    """Dependence vectors as matrix *columns* (the paper's ``D``).
+
+    Input is a sequence of dependence vectors; output is the row-tuples
+    of the matrix whose columns are those vectors.
+    """
+    ds = [tuple(int(x) for x in d) for d in deps]
+    if not ds:
+        raise ValueError("no dependence vectors")
+    n = len(ds[0])
+    if any(len(d) != n for d in ds):
+        raise ValueError("mixed-dimension dependence vectors")
+    return tuple(tuple(d[i] for d in ds) for i in range(n))
+
+
+def is_lexicographically_positive(d: Sequence[int]) -> bool:
+    """First nonzero component positive (a valid flow dependence)."""
+    for x in d:
+        if x != 0:
+            return x > 0
+    return False
+
+
+def validate_dependences(deps: Sequence[Sequence[int]]) -> None:
+    """Raise if any dependence vector is not lexicographically positive."""
+    for d in deps:
+        if not is_lexicographically_positive(d):
+            raise ValueError(
+                f"dependence {tuple(d)} is not lexicographically positive; "
+                "the loop as written is not a valid sequential program"
+            )

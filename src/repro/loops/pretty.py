@@ -1,0 +1,36 @@
+"""Source-like rendering of loop nests.
+
+Prints a :class:`~repro.loops.nest.LoopNest` back in the paper's FOR
+syntax — handy in the CLI and in error messages, and a readable
+round-trip check that the IR captured what the user meant.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.codegen.exprs import bound_to_c
+from repro.codegen.sequential import _ref_to_c
+from repro.loops.nest import LoopNest
+from repro.polyhedra.fourier_motzkin import loop_bounds
+
+
+def format_nest(nest: LoopNest) -> str:
+    """Render the nest as FOR loops with §2.1-style max/min bounds."""
+    n = nest.depth
+    bounds = loop_bounds(nest.domain)
+    names = [f"j{k}" for k in range(n)]
+    lines: List[str] = [f"/* {nest.name}; D = "
+                        f"{tuple(nest.dependences)} */"]
+    for k in range(n):
+        lo = bound_to_c(bounds[k], names[:k], "lower")
+        hi = bound_to_c(bounds[k], names[:k], "upper")
+        lines.append("    " * k + f"FOR {names[k]} = {lo} TO {hi} DO")
+    body_indent = "    " * n
+    for s in nest.statements:
+        reads = ", ".join(_ref_to_c(r, n) for r in s.reads)
+        lines.append(f"{body_indent}{_ref_to_c(s.write, n)} := "
+                     f"F({reads});")
+    for k in reversed(range(n)):
+        lines.append("    " * k + "ENDFOR")
+    return "\n".join(lines)

@@ -1,0 +1,187 @@
+"""Half-space representation of convex polyhedra with exact arithmetic.
+
+A :class:`Polyhedron` is a conjunction of constraints ``a . x <= b`` with
+rational coefficients.  The paper's algorithm domain (§2.1) is exactly
+"iteration space = intersection of finitely many half-spaces of Z^n",
+so this class *is* the iteration-space model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from math import gcd
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.linalg.ratmat import RatMat, rat, Scalar
+
+
+@dataclass(frozen=True)
+class Halfspace:
+    """The constraint ``sum_k a_k x_k <= b``."""
+
+    a: Tuple[Fraction, ...]
+    b: Fraction
+
+    @staticmethod
+    def of(a: Sequence[Scalar], b: Scalar) -> "Halfspace":
+        return Halfspace(tuple(rat(x) for x in a), rat(b))
+
+    @property
+    def dim(self) -> int:
+        return len(self.a)
+
+    def satisfied_by(self, x: Sequence[Scalar]) -> bool:
+        if len(x) != self.dim:
+            raise ValueError(f"point has dim {len(x)}, constraint {self.dim}")
+        lhs = sum((c * rat(v) for c, v in zip(self.a, x)), Fraction(0))
+        return lhs <= self.b
+
+    def normalized(self) -> "Halfspace":
+        """Scale to primitive integer coefficients (canonical form).
+
+        Dividing by the gcd of the integerized coefficients makes equal
+        half-spaces structurally equal, which lets redundancy pruning
+        use set semantics.
+        """
+        den = 1
+        for c in self.a:
+            den = den * c.denominator // gcd(den, c.denominator)
+        den = den * self.b.denominator // gcd(den, self.b.denominator)
+        ints = [int(c * den) for c in self.a] + [int(self.b * den)]
+        g = 0
+        for v in ints[:-1]:
+            g = gcd(g, abs(v))
+        if g == 0:
+            # No variable part: constraint is "0 <= b" — keep b's sign only.
+            return Halfspace(tuple(Fraction(0) for _ in self.a),
+                             Fraction(1 if ints[-1] >= 0 else -1))
+        a_new = tuple(Fraction(v, g) for v in ints[:-1])
+        return Halfspace(a_new, Fraction(ints[-1], g))
+
+    def is_trivial(self) -> bool:
+        """True for constraints with no variable part that always hold."""
+        return all(c == 0 for c in self.a) and self.b >= 0
+
+    def is_infeasible_constant(self) -> bool:
+        """True for constraints with no variable part that never hold."""
+        return all(c == 0 for c in self.a) and self.b < 0
+
+
+class Polyhedron:
+    """A convex polyhedron ``{ x : A x <= b }`` with exact coefficients."""
+
+    def __init__(self, constraints: Iterable[Halfspace]):
+        cs = list(constraints)
+        if not cs:
+            raise ValueError("a Polyhedron needs at least one constraint "
+                             "(use box() for the universe of a bounded space)")
+        d = cs[0].dim
+        for c in cs:
+            if c.dim != d:
+                raise ValueError("mixed-dimension constraints")
+        self._constraints: Tuple[Halfspace, ...] = tuple(cs)
+        self._dim = d
+
+    # -- construction ---------------------------------------------------------
+
+    @staticmethod
+    def from_system(a_rows: Sequence[Sequence[Scalar]],
+                    b: Sequence[Scalar]) -> "Polyhedron":
+        if len(a_rows) != len(b):
+            raise ValueError("A and b row counts differ")
+        return Polyhedron(
+            Halfspace.of(row, bb) for row, bb in zip(a_rows, b)
+        )
+
+    def intersect(self, other: "Polyhedron") -> "Polyhedron":
+        if other.dim != self.dim:
+            raise ValueError("dimension mismatch in intersect")
+        return Polyhedron(self._constraints + other._constraints)
+
+    def with_constraint(self, c: Halfspace) -> "Polyhedron":
+        if c.dim != self.dim:
+            raise ValueError("dimension mismatch in with_constraint")
+        return Polyhedron(self._constraints + (c,))
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def constraints(self) -> Tuple[Halfspace, ...]:
+        return self._constraints
+
+    def __repr__(self) -> str:
+        return f"Polyhedron(dim={self._dim}, m={len(self._constraints)})"
+
+    def contains(self, x: Sequence[Scalar]) -> bool:
+        return all(c.satisfied_by(x) for c in self._constraints)
+
+    def normalized(self) -> "Polyhedron":
+        """Canonicalize and deduplicate constraints (drop trivial ones)."""
+        seen = {}
+        for c in self._constraints:
+            n = c.normalized()
+            if n.is_trivial():
+                continue
+            key = (n.a, n.b)
+            if key not in seen:
+                seen[key] = n
+        if not seen:
+            # Everything was trivial: keep one tautology to stay non-empty.
+            zero = Halfspace(tuple(Fraction(0) for _ in range(self._dim)),
+                             Fraction(0))
+            return Polyhedron([zero])
+        return Polyhedron(seen.values())
+
+    def is_obviously_empty(self) -> bool:
+        """Detect constant-infeasible constraints (cheap check only)."""
+        return any(c.normalized().is_infeasible_constant()
+                   for c in self._constraints)
+
+    # -- affine images ------------------------------------------------------------
+
+    def preimage(self, m: RatMat, shift: Sequence[Scalar] = None) -> "Polyhedron":
+        """The polyhedron ``{ y : M y + s  in  self }``.
+
+        Used to pull iteration-space constraints back through transforms
+        (e.g. boundary-tile correction pulls ``J^n`` back through
+        ``j = P j^S + P' j'``).
+        """
+        if m.nrows != self._dim:
+            raise ValueError("matrix rows must equal polyhedron dim")
+        s = [rat(v) for v in (shift if shift is not None
+                              else [0] * self._dim)]
+        out = []
+        for c in self._constraints:
+            # a . (M y + s) <= b   =>   (a M) . y <= b - a . s
+            am = tuple(
+                sum((c.a[i] * m[i, j] for i in range(m.nrows)), Fraction(0))
+                for j in range(m.ncols)
+            )
+            rhs = c.b - sum((c.a[i] * s[i] for i in range(self._dim)),
+                            Fraction(0))
+            out.append(Halfspace(am, rhs))
+        return Polyhedron(out)
+
+
+def box(lo: Sequence[Scalar], hi: Sequence[Scalar]) -> Polyhedron:
+    """The axis-aligned box ``lo_k <= x_k <= hi_k`` (inclusive bounds).
+
+    This matches the paper's loop notation ``FOR j_k = l_k TO u_k``.
+    """
+    if len(lo) != len(hi):
+        raise ValueError("box bounds must have equal lengths")
+    n = len(lo)
+    cs: List[Halfspace] = []
+    for k in range(n):
+        e_pos = [0] * n
+        e_pos[k] = 1
+        e_neg = [0] * n
+        e_neg[k] = -1
+        cs.append(Halfspace.of(e_pos, hi[k]))   # x_k <= hi_k
+        cs.append(Halfspace.of(e_neg, -rat(lo[k])))  # -x_k <= -lo_k
+    return Polyhedron(cs)

@@ -1,0 +1,64 @@
+"""Virtual cluster runtime (substitution for the paper's 16-node testbed).
+
+The paper evaluated on 16 Pentium-III/500 nodes over FastEthernet with
+MPI.  This environment has no MPI and no cluster, so we execute the
+generated SPMD node programs on a deterministic discrete-event
+simulator: per-node clocks, a Hockney ``alpha + s/beta`` network model
+calibrated to FastEthernet, and blocking virtual-MPI semantics.  In
+*data mode* the executor also moves real numpy buffers so the final
+global array can be compared against a sequential reference — an
+end-to-end functional check of the whole compilation pipeline.
+"""
+
+from repro.runtime.machine import ClusterSpec, FAST_ETHERNET_CLUSTER
+from repro.runtime.vmpi import (
+    VirtualMPI,
+    Send,
+    Recv,
+    Compute,
+    DeadlockError,
+)
+from repro.runtime.executor import DistributedRun, TiledProgram
+from repro.runtime.interpreter import run_sequential, run_tiled_sequential
+from repro.runtime.trace import (
+    EventTrace,
+    GanttRow,
+    ascii_gantt,
+    to_chrome_trace,
+)
+from repro.runtime.dataspace import (
+    arrays_match,
+    assemble_dense,
+    max_abs_difference,
+    written_region,
+)
+from repro.runtime.metrics import (
+    RunMetrics,
+    format_metrics,
+    metrics_from_stats,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "FAST_ETHERNET_CLUSTER",
+    "VirtualMPI",
+    "Send",
+    "Recv",
+    "Compute",
+    "DeadlockError",
+    "DistributedRun",
+    "TiledProgram",
+    "run_sequential",
+    "run_tiled_sequential",
+    "EventTrace",
+    "GanttRow",
+    "ascii_gantt",
+    "to_chrome_trace",
+    "arrays_match",
+    "assemble_dense",
+    "max_abs_difference",
+    "written_region",
+    "RunMetrics",
+    "format_metrics",
+    "metrics_from_stats",
+]

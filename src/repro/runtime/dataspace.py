@@ -1,0 +1,74 @@
+"""Global data-space assembly.
+
+``DistributedRun.execute`` returns the written arrays as sparse dicts
+``cell -> value`` (exact and shape-agnostic).  Downstream users usually
+want dense numpy arrays over the written region; these helpers build
+them, and also compare results across execution modes with a single
+call — the verification idiom the tests and examples repeat.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+Cell = Tuple[int, ...]
+SparseArray = Mapping[Cell, float]
+
+
+def written_region(cells: SparseArray) -> Tuple[Tuple[int, ...],
+                                                Tuple[int, ...]]:
+    """Inclusive (lo, hi) bounding box of the written cells."""
+    if not cells:
+        raise ValueError("no cells were written")
+    it = iter(cells)
+    first = next(it)
+    lo = list(first)
+    hi = list(first)
+    for c in cells:
+        for k, v in enumerate(c):
+            if v < lo[k]:
+                lo[k] = v
+            if v > hi[k]:
+                hi[k] = v
+    return tuple(lo), tuple(hi)
+
+
+def assemble_dense(cells: SparseArray,
+                   fill: float = np.nan,
+                   origin: Optional[Tuple[int, ...]] = None,
+                   shape: Optional[Tuple[int, ...]] = None) -> np.ndarray:
+    """Dense array over the written region (or a caller-given window).
+
+    Returns an array ``A`` with ``A[c - origin] == cells[c]``; unwritten
+    positions hold ``fill``.
+    """
+    if origin is None or shape is None:
+        lo, hi = written_region(cells)
+        origin = origin or lo
+        shape = shape or tuple(h - l + 1 for l, h in zip(origin, hi))
+    out = np.full(shape, fill, dtype=np.float64)
+    for c, v in cells.items():
+        idx = tuple(a - b for a, b in zip(c, origin))
+        if all(0 <= i < s for i, s in zip(idx, shape)):
+            out[idx] = v
+    return out
+
+
+def max_abs_difference(a: SparseArray, b: SparseArray) -> float:
+    """Largest |a - b| over the union of keys; missing keys count as
+    infinite disagreement."""
+    keys_a, keys_b = set(a), set(b)
+    if keys_a != keys_b:
+        return float("inf")
+    return max((abs(a[k] - b[k]) for k in keys_a), default=0.0)
+
+
+def arrays_match(a: Dict[str, SparseArray],
+                 b: Dict[str, SparseArray],
+                 tol: float = 1e-11) -> bool:
+    """Cross-mode verification: same arrays, same cells, close values."""
+    if set(a) != set(b):
+        return False
+    return all(max_abs_difference(a[name], b[name]) <= tol for name in a)

@@ -1,0 +1,457 @@
+"""Assemble and run the generated SPMD node programs.
+
+:class:`TiledProgram` is the compiler's output for one (nest, tiling)
+pair: computation distribution, communication spec, LDS layout, and the
+per-processor node program implementing the paper's main loop::
+
+    FOR t^S in chain:
+        RECEIVE(pid, t^S, D^S, CC)      # recv + unpack into LDS halo
+        compute tile (TTIS traversal)   # strides/offsets from HNF
+        SEND(pid, t^S, D^m, CC)         # pack + send per successor proc
+
+:class:`DistributedRun` executes it on the virtual cluster in one of two
+modes:
+
+* ``simulate()`` — timing only: message sizes and compute volumes are
+  exact (per-tile clipped point counts), but no data moves.  This is the
+  mode the paper-scale experiments use.
+* ``execute(init_value)`` — full data mode: real numpy LDS buffers,
+  real pack/unpack, and a final owner-computes write-back to the global
+  data space.  Used by the integration tests to compare bit-for-bit
+  against a sequential interpreter of the same nest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distribution.communication import CommunicationSpec
+from repro.distribution.computation import ComputationDistribution
+from repro.distribution.data import DistributedAddressing, LocalDataSpace
+from repro.linalg.ratmat import RatMat
+from repro.loops.nest import LoopNest
+from repro.runtime.machine import ClusterSpec
+from repro.runtime.trace import EventTrace
+from repro.runtime.vmpi import Compute, Recv, RunStats, Send, VirtualMPI
+from repro.tiling.legality import check_legal_tiling
+from repro.tiling.transform import TilingTransformation
+
+Pid = Tuple[int, ...]
+Tile = Tuple[int, ...]
+
+
+class TiledProgram:
+    """Everything the compiler derives for one nest under one tiling."""
+
+    def __init__(self, nest: LoopNest, h: RatMat,
+                 mapping_dim: Optional[int] = None):
+        check_legal_tiling(h, nest.dependences)
+        self.nest = nest
+        self.tiling = TilingTransformation(h, nest.domain)
+        self.dist = ComputationDistribution(self.tiling, mapping_dim)
+        self.comm = CommunicationSpec(self.tiling, nest.dependences,
+                                      self.dist.m)
+        self.addressing = DistributedAddressing(self.dist, self.comm)
+        self.n = self.tiling.n
+        self.arrays = list(nest.written_arrays)
+        # Transformed dependence vector per (statement, read) that targets
+        # a written array; None for pure-input reads.
+        self._read_deps: List[List[Optional[Tuple[int, ...]]]] = []
+        writes = {s.write.array: s.write for s in nest.statements}
+        for s in nest.statements:
+            row: List[Optional[Tuple[int, ...]]] = []
+            for r in s.reads:
+                w = writes.get(r.array)
+                if w is None:
+                    row.append(None)
+                else:
+                    diff = tuple(a - b for a, b in zip(w.offset, r.offset))
+                    d = w.access_matrix().solve(diff)
+                    row.append(tuple(int(x) for x in d))
+            self._read_deps.append(row)
+        # Rank numbering for the virtual communicator.
+        self.pids: Tuple[Pid, ...] = self.dist.processors
+        self.rank_of: Dict[Pid, int] = {p: i for i, p in enumerate(self.pids)}
+        self._region_cache: Dict[Tuple[Tile, Tuple[int, ...]], int] = {}
+        self._full_region_cache: Dict[Tuple[int, ...], int] = {}
+        self._mask_cache: Dict[Tile, np.ndarray] = {}
+
+    # -- static queries ----------------------------------------------------------
+
+    @property
+    def num_processors(self) -> int:
+        return len(self.pids)
+
+    def total_points(self) -> int:
+        """Iteration count of the whole nest (for speedup baselines)."""
+        return sum(self.tiling.tile_point_count(t)
+                   for t in self.dist.tiles)
+
+    def tile_mask(self, tile: Tile) -> np.ndarray:
+        mask = self._mask_cache.get(tile)
+        if mask is None:
+            mask = self.tiling.tile_mask(tile)
+            self._mask_cache[tile] = mask
+        return mask
+
+    def region_mask(self, tile: Tile, direction: Sequence[int]) -> np.ndarray:
+        """Mask (over TTIS lattice points) of the pack region of ``tile``
+        toward tile/processor ``direction`` — computed points with
+        ``j'_k >= cc_k`` on every non-mapping dimension the direction
+        crosses."""
+        lat = self.tiling.ttis.lattice_points_np()
+        mask = self.tile_mask(tile).copy()
+        lbs = self.comm.pack_lower_bounds(direction)
+        for k in range(self.n):
+            if lbs[k] > 0:
+                mask &= lat[:, k] >= lbs[k]
+        return mask
+
+    def full_region_count(self, direction: Sequence[int]) -> int:
+        """Pack-region size of an *interior* tile toward ``direction`` —
+        a pure compile-time quantity (no domain clipping)."""
+        key = tuple(int(x) for x in direction)
+        count = self._full_region_cache.get(key)
+        if count is None:
+            lat = self.tiling.ttis.lattice_points_np()
+            mask = np.ones(len(lat), dtype=bool)
+            lbs = self.comm.pack_lower_bounds(direction)
+            for k in range(self.n):
+                if lbs[k] > 0:
+                    mask &= lat[:, k] >= lbs[k]
+            count = int(mask.sum())
+            self._full_region_cache[key] = count
+        return count
+
+    def region_count(self, tile: Tile, direction: Sequence[int]) -> int:
+        if self.tiling.classify_tile(tile) == "full":
+            return self.full_region_count(direction)
+        key = (tile, tuple(int(x) for x in direction))
+        count = self._region_cache.get(key)
+        if count is None:
+            count = int(self.region_mask(tile, direction).sum())
+            self._region_cache[key] = count
+        return count
+
+    # -- the communication schedule (shared by both modes) --------------------------
+
+    def receive_plan(self, tile: Tile) -> List[Tuple[Tile, Tile, Pid]]:
+        """Receives posted by ``tile``: ``(d^S, pred_tile, src_pid)``.
+
+        Ordered so that per ``(source, direction)`` the matched messages
+        arrive FIFO: directions sorted, and within a direction
+        predecessors in ascending chain position (descending ``d^S_m``).
+        """
+        comm, dist = self.comm, self.dist
+        plan = []
+        for dm in comm.d_m:
+            for ds in sorted(comm.ds_of_dm(dm),
+                             key=lambda d: -d[dist.m]):
+                pred = tuple(a - b for a, b in zip(tile, ds))
+                if not dist.valid(pred):
+                    continue
+                if comm.minsucc(dist.valid, pred, dm) != tile:
+                    continue
+                src = tuple(a - b for a, b in zip(dist.pid_of(tile), dm))
+                plan.append((ds, pred, src))
+        return plan
+
+    def send_plan(self, tile: Tile) -> List[Tuple[Pid, Pid]]:
+        """Sends issued by ``tile``: ``(d^m, dst_pid)`` per successor
+        processor with at least one valid successor tile."""
+        comm, dist = self.comm, self.dist
+        plan = []
+        for dm in comm.d_m:
+            if any(
+                dist.valid(tuple(a + b for a, b in zip(tile, ds)))
+                for ds in comm.ds_of_dm(dm)
+            ):
+                dst = tuple(a + b for a, b in zip(dist.pid_of(tile), dm))
+                plan.append((dm, dst))
+        return plan
+
+    def message_tag(self, dm: Pid) -> int:
+        return self.comm.d_m.index(tuple(dm))
+
+
+class DistributedRun:
+    """Execute a :class:`TiledProgram` on the virtual cluster."""
+
+    def __init__(self, program: TiledProgram, spec: ClusterSpec,
+                 trace: Optional[EventTrace] = None):
+        self.program = program
+        self.spec = spec
+        self.trace = trace
+
+    # -- timing-only mode -----------------------------------------------------------
+
+    def simulate(self) -> RunStats:
+        """Run the communication/computation schedule with exact sizes
+        but no data; returns the simulated clocks."""
+        prog = self.program
+        spec = self.spec
+        narr = len(prog.arrays)
+
+        def speed(rank: int) -> float:
+            return spec.node_speed_factor(rank)
+
+        def make_program(pid: Pid):
+            rank = prog.rank_of[pid]
+            f = speed(rank)
+
+            def node(api):
+                for tile in prog.dist.tiles_of(pid):
+                    for ds, pred, src in prog.receive_plan(tile):
+                        nelems = prog.region_count(pred, ds) * narr
+                        if nelems == 0:
+                            continue
+                        dm = prog.comm.project(ds)
+                        yield Recv(source=prog.rank_of[src],
+                                   tag=prog.message_tag(dm))
+                        yield Compute(spec.pack_time(nelems) * f)
+                    pts = prog.tiling.tile_point_count(tile)
+                    yield Compute(spec.compute_time(pts) * f)
+                    for dm, dst in prog.send_plan(tile):
+                        full_dir = dm[:prog.dist.m] + (0,) + dm[prog.dist.m:]
+                        nelems = prog.region_count(tile, full_dir) * narr
+                        if nelems == 0:
+                            continue
+                        yield Compute(spec.pack_time(nelems) * f)
+                        yield Send(dest=prog.rank_of[dst],
+                                   tag=prog.message_tag(dm),
+                                   nelems=nelems)
+            return node
+
+        programs = {prog.rank_of[pid]: make_program(pid)
+                    for pid in prog.pids}
+        engine = VirtualMPI(spec, programs, trace=self.trace)
+        return engine.run()
+
+    def simulate_unaggregated(self) -> RunStats:
+        """Ablation of the §3.2 Tang & Xue scheme: send one message per
+        *tile dependence* instead of one per successor *processor*.
+
+        The paper's asymmetry ("a tile will receive from tiles, while
+        it will send to processors") exists precisely to aggregate the
+        dependencies ``d^S`` sharing a processor direction ``d^m`` into
+        a single message; this mode undoes that, so each crossing
+        dependence pays its own latency and (identical) payload.
+        Timing-only.
+        """
+        prog = self.program
+        spec = self.spec
+        narr = len(prog.arrays)
+        dist, comm = prog.dist, prog.comm
+        ds_list = [ds for ds in comm.d_s if not comm.is_intra_processor(ds)]
+        tag_of = {ds: i for i, ds in enumerate(ds_list)}
+
+        def make_program(pid: Pid):
+            def node(api):
+                for tile in dist.tiles_of(pid):
+                    # receive one message per crossing dependence whose
+                    # predecessor tile exists
+                    for ds in ds_list:
+                        pred = tuple(a - b for a, b in zip(tile, ds))
+                        if not dist.valid(pred):
+                            continue
+                        nelems = prog.region_count(pred, ds) * narr
+                        if nelems == 0:
+                            continue
+                        dm = comm.project(ds)
+                        src = tuple(a - b for a, b
+                                    in zip(dist.pid_of(tile), dm))
+                        yield Recv(source=prog.rank_of[src],
+                                   tag=tag_of[ds])
+                        yield Compute(spec.pack_time(nelems))
+                    pts = prog.tiling.tile_point_count(tile)
+                    yield Compute(spec.compute_time(pts))
+                    # send one message per crossing dependence with a
+                    # valid successor tile
+                    for ds in ds_list:
+                        succ = tuple(a + b for a, b in zip(tile, ds))
+                        if not dist.valid(succ):
+                            continue
+                        full = tuple(0 if k == dist.m else ds[k]
+                                     for k in range(prog.n))
+                        nelems = prog.region_count(tile, full) * narr
+                        if nelems == 0:
+                            continue
+                        dm = comm.project(ds)
+                        dst = tuple(a + b for a, b
+                                    in zip(dist.pid_of(tile), dm))
+                        yield Compute(spec.pack_time(nelems))
+                        yield Send(dest=prog.rank_of[dst],
+                                   tag=tag_of[ds], nelems=nelems)
+            return node
+
+        programs = {prog.rank_of[pid]: make_program(pid)
+                    for pid in prog.pids}
+        engine = VirtualMPI(spec, programs, trace=self.trace)
+        return engine.run()
+
+    # -- full data mode ---------------------------------------------------------------
+
+    def execute(self, init_value: Callable[[str, Tuple[int, ...]], float],
+                dtype=np.float64) -> Tuple[Dict[str, Dict[Tuple[int, ...], float]], RunStats]:
+        """Run with real data movement; returns (global arrays, stats).
+
+        ``init_value(array, cell)`` supplies values for reads that fall
+        outside the iteration space (boundary/initial conditions).  The
+        returned global arrays are dicts ``cell -> value`` per written
+        array, assembled by the owner-computes write-back (Table 2's
+        ``loc⁻¹`` composed with ``f_w``).
+        """
+        prog = self.program
+        spec = self.spec
+        nest = prog.nest
+        ttis = prog.tiling.ttis
+        dist = prog.dist
+        lat = ttis.lattice_points_np()
+        order = np.lexsort(lat.T[::-1])  # lexicographic execution order
+        narr = len(prog.arrays)
+        # Global result assembled at the end (the paper's write-back to DS).
+        global_arrays: Dict[str, Dict[Tuple[int, ...], float]] = {
+            a: {} for a in prog.arrays
+        }
+        stmts = nest.statements
+        read_deps = prog._read_deps
+        dprime_per_stmt = [
+            [None if d is None else ttis.transformed_dependences([d])[0]
+             for d in row]
+            for row in read_deps
+        ]
+
+        def make_program(pid: Pid):
+            lds = prog.addressing.lds_for(pid)
+            arrays_local = {a: lds.allocate(dtype) for a in prog.arrays}
+
+            def read_value(arr: str, stmt_idx: int, read_idx: int,
+                           j_prime: Tuple[int, ...], t: int,
+                           g: Tuple[int, ...]) -> float:
+                ref = stmts[stmt_idx].reads[read_idx]
+                d = read_deps[stmt_idx][read_idx]
+                if d is None:
+                    return init_value(arr, ref.index(g))
+                src_pt = tuple(a - b for a, b in zip(g, d))
+                if not nest.domain.contains(src_pt):
+                    return init_value(arr, ref.index(g))
+                dp = dprime_per_stmt[stmt_idx][read_idx]
+                cell = lds.map(
+                    tuple(a - b for a, b in zip(j_prime, dp)), t
+                )
+                return arrays_local[arr][cell]
+
+            def node(api):
+                for tile in dist.tiles_of(pid):
+                    t = dist.chain_index(tile)
+                    # RECEIVE ------------------------------------------------
+                    for ds, pred, src in prog.receive_plan(tile):
+                        nelems = prog.region_count(pred, ds) * narr
+                        if nelems == 0:
+                            continue
+                        dm = prog.comm.project(ds)
+                        payload, got = yield Recv(
+                            source=prog.rank_of[src],
+                            tag=prog.message_tag(dm))
+                        assert got == nelems, (
+                            f"size mismatch at {tile} from {pred}: "
+                            f"{got} != {nelems}")
+                        yield Compute(spec.pack_time(nelems))
+                        self._unpack(prog, lds, arrays_local, payload,
+                                     pred, ds, t)
+                    # COMPUTE ------------------------------------------------
+                    mask = prog.tile_mask(tile)
+                    idx = order[mask[order]]
+                    origin = prog.tiling.tile_origin(tile)
+                    yield Compute(spec.compute_time(int(mask.sum())))
+                    for i in idx:
+                        j_prime = tuple(int(x) for x in lat[i])
+                        local = ttis.from_ttis(j_prime)
+                        g = tuple(a + b for a, b in zip(origin, local))
+                        for si, s in enumerate(stmts):
+                            vals = [
+                                read_value(r.array, si, ri, j_prime, t, g)
+                                for ri, r in enumerate(s.reads)
+                            ]
+                            cell = lds.map(j_prime, t)
+                            arrays_local[s.write.array][cell] = \
+                                s.kernel(g, vals)
+                    # SEND ---------------------------------------------------
+                    for dm, dst in prog.send_plan(tile):
+                        full_dir = dm[:dist.m] + (0,) + dm[dist.m:]
+                        region = prog.region_mask(tile, full_dir)
+                        count = int(region.sum())
+                        if count == 0:
+                            continue
+                        nelems = count * narr
+                        yield Compute(spec.pack_time(nelems))
+                        payload = self._pack(prog, lds, arrays_local,
+                                             tile, region, t, order, lat,
+                                             dtype)
+                        yield Send(dest=prog.rank_of[dst],
+                                   tag=prog.message_tag(dm),
+                                   nelems=nelems, payload=payload)
+                # WRITE-BACK (outside the timed region, like the paper's
+                # final placement of local data into the global DS).
+                for tile in dist.tiles_of(pid):
+                    t = dist.chain_index(tile)
+                    mask = prog.tile_mask(tile)
+                    origin = prog.tiling.tile_origin(tile)
+                    for i in np.nonzero(mask)[0]:
+                        j_prime = tuple(int(x) for x in lat[i])
+                        local = ttis.from_ttis(j_prime)
+                        g = tuple(a + b for a, b in zip(origin, local))
+                        cell = lds.map(j_prime, t)
+                        for s in stmts:
+                            global_arrays[s.write.array][s.write.index(g)] = \
+                                float(arrays_local[s.write.array][cell])
+            return node
+
+        programs = {prog.rank_of[pid]: make_program(pid)
+                    for pid in prog.pids}
+        engine = VirtualMPI(spec, programs, trace=self.trace)
+        stats = engine.run()
+        return global_arrays, stats
+
+    # -- pack / unpack ------------------------------------------------------------------
+
+    @staticmethod
+    def _pack(prog: TiledProgram, lds: LocalDataSpace, arrays_local,
+              tile: Tile, region: np.ndarray, t: int,
+              order: np.ndarray, lat: np.ndarray, dtype) -> np.ndarray:
+        """Serialize the region's values, array-major then lattice order."""
+        idx = order[region[order]]
+        out = np.empty(len(idx) * len(prog.arrays), dtype=dtype)
+        pos = 0
+        for arr in prog.arrays:
+            la = arrays_local[arr]
+            for i in idx:
+                j_prime = tuple(int(x) for x in lat[i])
+                out[pos] = la[lds.map(j_prime, t)]
+                pos += 1
+        return out
+
+    @staticmethod
+    def _unpack(prog: TiledProgram, lds: LocalDataSpace, arrays_local,
+                payload: np.ndarray, pred: Tile, ds: Tile, t: int) -> None:
+        """Mirror of :meth:`_pack` on the receiving side.
+
+        The receiver re-derives the sender's region (it knows the
+        predecessor tile) and scatters values into the halo slots
+        ``map(j', t) - d^S_k v_k / c_k`` of Table RECEIVE.
+        """
+        lat = prog.tiling.ttis.lattice_points_np()
+        order = np.lexsort(lat.T[::-1])
+        region = prog.region_mask(pred, ds)
+        idx = order[region[order]]
+        pos = 0
+        for arr in prog.arrays:
+            la = arrays_local[arr]
+            for i in idx:
+                j_prime = tuple(int(x) for x in lat[i])
+                slot = lds.halo_slot(j_prime, ds, t)
+                la[slot] = payload[pos]
+                pos += 1

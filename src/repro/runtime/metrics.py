@@ -1,0 +1,106 @@
+"""Per-rank utilization metrics and load-balance reports.
+
+Turns :class:`~repro.runtime.vmpi.RunStats` (and optionally an event
+trace) into the numbers a cluster person actually reads: per-rank
+compute/communication/idle breakdown, load imbalance, and aggregate
+communication intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.runtime.trace import EventTrace
+from repro.runtime.vmpi import RunStats
+
+
+@dataclass(frozen=True)
+class RankMetrics:
+    rank: int
+    compute: float
+    comm: float
+    idle: float
+
+    @property
+    def busy_fraction(self) -> float:
+        total = self.compute + self.comm + self.idle
+        return self.compute / total if total > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Aggregate view of one simulated run."""
+
+    makespan: float
+    ranks: Tuple[RankMetrics, ...]
+    total_messages: int
+    total_elements: int
+
+    @property
+    def mean_compute(self) -> float:
+        return sum(r.compute for r in self.ranks) / len(self.ranks)
+
+    @property
+    def load_imbalance(self) -> float:
+        """max(compute) / mean(compute) - 1; zero means perfect balance."""
+        mean = self.mean_compute
+        if mean == 0:
+            return 0.0
+        return max(r.compute for r in self.ranks) / mean - 1.0
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Sum of useful compute over processors x makespan."""
+        if self.makespan == 0 or not self.ranks:
+            return 0.0
+        total = sum(r.compute for r in self.ranks)
+        return total / (len(self.ranks) * self.makespan)
+
+    @property
+    def comm_fraction(self) -> float:
+        """Fraction of total rank-time spent in communication calls."""
+        denom = len(self.ranks) * self.makespan
+        if denom == 0:
+            return 0.0
+        return sum(r.comm for r in self.ranks) / denom
+
+
+def metrics_from_stats(stats: RunStats) -> RunMetrics:
+    """Build metrics from run statistics alone (no trace needed).
+
+    Idle time for a rank is whatever part of the makespan it spent
+    neither computing nor inside a communication call (ranks that
+    finish early are idle for the remainder by definition).
+    """
+    ranks = []
+    for rank in sorted(stats.clocks):
+        compute = stats.compute_time[rank]
+        comm = stats.comm_time[rank]
+        idle = max(0.0, stats.makespan - compute - comm)
+        ranks.append(RankMetrics(rank=rank, compute=compute, comm=comm,
+                                 idle=idle))
+    return RunMetrics(
+        makespan=stats.makespan,
+        ranks=tuple(ranks),
+        total_messages=stats.total_messages,
+        total_elements=stats.total_elements,
+    )
+
+
+def format_metrics(metrics: RunMetrics, top: Optional[int] = None) -> str:
+    """Human-readable utilization table."""
+    lines = [
+        f"makespan {metrics.makespan:.6f}s  "
+        f"efficiency {metrics.parallel_efficiency:.1%}  "
+        f"imbalance {metrics.load_imbalance:.1%}  "
+        f"comm share {metrics.comm_fraction:.1%}",
+        f"{'rank':>4}  {'compute':>10}  {'comm':>10}  {'idle':>10}  busy",
+    ]
+    rows = metrics.ranks[:top] if top else metrics.ranks
+    for r in rows:
+        lines.append(
+            f"{r.rank:>4}  {r.compute:>10.6f}  {r.comm:>10.6f}  "
+            f"{r.idle:>10.6f}  {r.busy_fraction:>5.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Execution traces of simulated runs (send/recv/compute intervals).
+
+Useful for debugging generated programs and for rendering ASCII Gantt
+charts of the tile pipeline — the wavefront structure the linear
+schedule ``Pi = [1,...,1]`` induces is clearly visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    kind: str          # "send" | "recv" | "compute"
+    rank: int
+    start: float
+    end: float
+    peer: Optional[int] = None
+    tag: Optional[int] = None
+    nelems: int = 0
+    label: str = ""
+
+
+@dataclass
+class EventTrace:
+    """Accumulates simulator events in wall-clock order per rank."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def record(self, kind: str, rank: int, start: float, end: float,
+               peer: Optional[int] = None, tag: Optional[int] = None,
+               nelems: int = 0, label: str = "") -> None:
+        self.events.append(TraceEvent(kind, rank, start, end,
+                                      peer, tag, nelems, label))
+
+    def by_rank(self) -> Dict[int, List[TraceEvent]]:
+        out: Dict[int, List[TraceEvent]] = {}
+        for ev in self.events:
+            out.setdefault(ev.rank, []).append(ev)
+        for lst in out.values():
+            lst.sort(key=lambda e: (e.start, e.end))
+        return out
+
+    def message_count(self) -> int:
+        return sum(1 for e in self.events if e.kind == "send")
+
+
+@dataclass(frozen=True)
+class GanttRow:
+    rank: int
+    cells: str
+
+
+def to_chrome_trace(trace: EventTrace,
+                    time_unit_us: float = 1e6) -> list:
+    """Convert to Chrome tracing format (``chrome://tracing`` /
+    Perfetto): a list of complete events, one track per rank.
+
+    Dump with ``json.dump({"traceEvents": to_chrome_trace(t)}, fh)``.
+    """
+    events = []
+    for ev in trace.events:
+        args = {"nelems": ev.nelems}
+        if ev.peer is not None:
+            args["peer"] = ev.peer
+        if ev.tag is not None:
+            args["tag"] = ev.tag
+        events.append({
+            "name": ev.label or ev.kind,
+            "cat": ev.kind,
+            "ph": "X",
+            "ts": ev.start * time_unit_us,
+            "dur": max(0.0, (ev.end - ev.start) * time_unit_us),
+            "pid": 0,
+            "tid": ev.rank,
+            "args": args,
+        })
+    return events
+
+
+def ascii_gantt(trace: EventTrace, width: int = 72) -> List[GanttRow]:
+    """Render per-rank activity as rows of characters.
+
+    ``#`` compute, ``>`` send, ``<`` recv/wait, ``.`` idle.  Intended
+    for eyeballing pipeline fill/drain, not for measurement.
+    """
+    if not trace.events:
+        return []
+    t_end = max(e.end for e in trace.events)
+    if t_end <= 0:
+        return []
+    scale = width / t_end
+    rows: List[GanttRow] = []
+    for rank, events in sorted(trace.by_rank().items()):
+        cells = ["."] * width
+        for ev in events:
+            a = min(width - 1, int(ev.start * scale))
+            b = min(width - 1, max(a, int(ev.end * scale) - 1))
+            ch = {"compute": "#", "send": ">", "recv": "<"}.get(ev.kind, "?")
+            for i in range(a, b + 1):
+                if cells[i] == "." or ch == "#":
+                    cells[i] = ch
+        rows.append(GanttRow(rank=rank, cells="".join(cells)))
+    return rows

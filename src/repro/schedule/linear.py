@@ -1,0 +1,73 @@
+"""The linear time schedule ``Pi = [1, ..., 1]`` over the tile space.
+
+Tiles execute at time step ``t = Pi . j^S``; the completion step of the
+whole computation is governed by the last point ``j_max`` of the
+iteration space, which lands in tile ``floor(H j_max)`` and so executes
+at step ``Pi . floor(H j_max)`` — the quantity the paper's §4 analysis
+(``t_r`` vs ``t_nr``) compares across tile shapes.  A tile shape whose
+rows come from the tiling cone wipes out cross terms in this dot
+product, which is exactly why cone-aligned tiling wins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Sequence, Tuple
+
+from repro.linalg.ratmat import RatMat
+from repro.tiling.transform import TilingTransformation
+
+
+@dataclass(frozen=True)
+class LinearSchedule:
+    """``Pi = [1,...,1]`` applied to an enumerated tile space."""
+
+    tiling: TilingTransformation
+
+    def step_of(self, tile: Sequence[int]) -> int:
+        return int(sum(tile))
+
+    def steps(self) -> Dict[int, List[Tuple[int, ...]]]:
+        """Tiles grouped by execution step (the wavefronts)."""
+        out: Dict[int, List[Tuple[int, ...]]] = {}
+        for t in self.tiling.enumerate_tiles():
+            out.setdefault(self.step_of(t), []).append(t)
+        return out
+
+    def length(self) -> int:
+        """Number of distinct wavefronts (schedule length)."""
+        tiles = self.tiling.enumerate_tiles()
+        lo = min(self.step_of(t) for t in tiles)
+        hi = max(self.step_of(t) for t in tiles)
+        return hi - lo + 1
+
+    def max_parallelism(self) -> int:
+        """Largest wavefront — how many processors can be busy at once."""
+        return max(len(v) for v in self.steps().values())
+
+
+def schedule_length(tiling: TilingTransformation) -> int:
+    return LinearSchedule(tiling).length()
+
+
+def last_tile_time(h: RatMat, j_max: Sequence[int]) -> int:
+    """``Pi . floor(H j_max)`` — the step executing the last point.
+
+    This is the paper's ``t_r`` / ``t_nr`` quantity (§4.1-4.3): compare
+    it across tile shapes of equal volume to predict which shape
+    finishes first.
+    """
+    img = h.matvec(j_max)
+    return sum(math.floor(x) for x in img)
+
+
+def makespan_formula_terms(h: RatMat,
+                           j_max: Sequence[int]) -> Tuple[Fraction, ...]:
+    """The exact per-row terms ``h_k . j_max`` before flooring.
+
+    Useful for reproducing the symbolic identities of §4 (e.g. SOR:
+    ``t_nr = t_r - M/z``) without integer rounding noise.
+    """
+    return tuple(h.matvec(j_max))

@@ -1,0 +1,107 @@
+"""The tiling cone of a dependence set and its extreme rays.
+
+A tiling ``H`` is legal iff every row of ``H`` lies in the *tiling cone*
+``C(D) = { x : x . d >= 0 for all d in D }`` (Ramanujam & Sadayappan,
+Xue, Boulet et al. — paper refs [12, 15, 4]).  Hodzic & Shang [10]
+further show the scheduling-optimal tile shape takes its faces from the
+cone's boundary; the paper's experiments are exactly about confirming
+this, so the cone computation is a first-class citizen here.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+from math import gcd
+from typing import List, Sequence, Tuple
+
+from repro.linalg.ratmat import RatMat
+
+
+def _primitive(vec: Sequence[Fraction]) -> Tuple[int, ...]:
+    """Scale a rational vector to primitive integer form (gcd 1)."""
+    den = 1
+    for x in vec:
+        den = den * x.denominator // gcd(den, x.denominator)
+    ints = [int(x * den) for x in vec]
+    g = 0
+    for v in ints:
+        g = gcd(g, abs(v))
+    if g == 0:
+        raise ValueError("zero vector has no primitive form")
+    return tuple(v // g for v in ints)
+
+
+def in_tiling_cone(x: Sequence,
+                   deps: Sequence[Sequence[int]]) -> bool:
+    """Is ``x . d >= 0`` for every dependence vector ``d``?
+
+    ``x`` may have rational entries (candidate rays come out of exact
+    solves); the test is exact — no rounding.
+    """
+    xs = [Fraction(v) if not isinstance(v, Fraction) else v for v in x]
+    return all(
+        sum((a * int(b) for a, b in zip(xs, d)), Fraction(0)) >= 0
+        for d in deps
+    )
+
+
+def _null_direction(rows: Sequence[Sequence[int]], n: int):
+    """A nonzero vector orthogonal to all ``rows`` (rank n-1 expected)."""
+    # Solve by appending candidate normalization rows until nonsingular.
+    m = RatMat([[Fraction(int(x)) for x in r] for r in rows]) \
+        if rows else None
+    for axis in range(n):
+        probe = [Fraction(0)] * n
+        probe[axis] = Fraction(1)
+        rows_aug = [list(r) for r in rows] + [probe]
+        mat = RatMat(rows_aug)
+        if mat.nrows != n:
+            return None  # need exactly n-1 rows + 1 probe
+        if mat.det() == 0:
+            continue
+        rhs = [Fraction(0)] * (n - 1) + [Fraction(1)]
+        sol = mat.solve(rhs)
+        return sol
+    return None
+
+
+def tiling_cone_rays(deps: Sequence[Sequence[int]]) -> List[Tuple[int, ...]]:
+    """Extreme rays of the tiling cone, as primitive integer vectors.
+
+    Assumes a full-dimensional pointed cone (true whenever the
+    dependence vectors span ``R^n`` and admit a strictly interior
+    normal, which holds for every tileable nest).  Brute-force over
+    ``n-1``-subsets of dependencies: an extreme ray of an ``n``-dim
+    pointed cone is determined by ``n-1`` linearly independent active
+    constraints.  For ``n = 1`` the cone is the non-negative half-line.
+    """
+    ds = [tuple(int(x) for x in d) for d in deps]
+    if not ds:
+        raise ValueError("no dependence vectors")
+    n = len(ds[0])
+    if n == 1:
+        return [(1,)]
+    rays = set()
+    for subset in combinations(range(len(ds)), n - 1):
+        active = [ds[i] for i in subset]
+        sol = _null_direction(active, n)
+        if sol is None:
+            continue
+        for sign in (1, -1):
+            cand = [sign * x for x in sol]
+            if all(x == 0 for x in cand):
+                continue
+            if in_tiling_cone(cand, ds):
+                # Extremality check: the active constraints must have
+                # rank n-1, otherwise cand is interior to a face.
+                mat = RatMat([[Fraction(int(v)) for v in a] for a in active]
+                             + [[Fraction(x) for x in cand]])
+                if mat.det() == 0:
+                    continue
+                rays.add(_primitive([Fraction(x) for x in cand]))
+    if not rays:
+        raise ValueError(
+            "tiling cone has no extreme rays; dependence set may not span"
+        )
+    return sorted(rays)

@@ -1,0 +1,37 @@
+"""Tiling legality: ``H D >= 0``.
+
+A tiling is legal (atomic tiles can execute in some sequential order
+without dependence cycles) iff every row of ``H`` has a non-negative
+inner product with every dependence vector — i.e. all rows lie in the
+tiling cone (Ramanujam & Sadayappan, paper ref [12]).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.linalg.ratmat import RatMat
+from repro.tiling.cone import in_tiling_cone
+
+
+def is_legal_tiling(h: RatMat, deps: Sequence[Sequence[int]]) -> bool:
+    """True iff every entry of ``H @ D`` is non-negative."""
+    for d in deps:
+        img = h.matvec(d)
+        if any(x < 0 for x in img):
+            return False
+    return True
+
+
+def check_legal_tiling(h: RatMat, deps: Sequence[Sequence[int]]) -> None:
+    """Raise ``ValueError`` with the offending (row, dependence) pair."""
+    for d in deps:
+        img = h.matvec(d)
+        for k, x in enumerate(img):
+            if x < 0:
+                raise ValueError(
+                    f"illegal tiling: row {k} of H has negative inner "
+                    f"product {x} with dependence {tuple(d)}; skew the loop "
+                    "or pick rows from the tiling cone"
+                )

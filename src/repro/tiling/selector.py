@@ -1,0 +1,118 @@
+"""Tile-size selection along the mapping dimension.
+
+The paper fixes the processor-grid factors and "adjusts tile size
+properly" along the chain (§3.1, following their UET-UCT result [3]:
+the mapping is scheduling-optimal when the computation-to-communication
+ratio of a tile is about one).  This module automates the adjustment
+two ways:
+
+* :func:`ratio_balanced_extent` — closed form: pick the chain extent
+  that makes ``t_compute(tile) ~= t_communicate(tile)``.
+* :func:`sweep_best_extent` — empirical: simulate a sweep and keep the
+  extent with the best makespan (what the paper's figures do by hand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.linalg.ratmat import RatMat
+from repro.runtime.machine import ClusterSpec
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """Result of an empirical tile-size sweep."""
+
+    best_extent: int
+    best_makespan: float
+    best_speedup: float
+    curve: Tuple[Tuple[int, float], ...]   # (extent, speedup)
+
+
+def ratio_balanced_extent(
+    h_of_extent: Callable[[int], RatMat],
+    nest,
+    mapping_dim: int,
+    spec: ClusterSpec,
+    arrays: int = 1,
+    candidates: Sequence[int] = tuple(range(1, 65)),
+) -> int:
+    """Chain extent whose full tile has comp/comm ratio closest to 1.
+
+    Uses the compile-time communication-region sizes (no simulation):
+    for each candidate extent the tile volume gives the compute time and
+    the per-direction pack regions give the communication time.
+    """
+    from repro.distribution.communication import CommunicationSpec
+    from repro.tiling.ttis import TTIS
+
+    best = None
+    for ext in candidates:
+        h = h_of_extent(int(ext))
+        try:
+            ttis = TTIS(h)
+            comm = CommunicationSpec(_transform_for(h, nest),
+                                     nest.dependences, mapping_dim)
+        except ValueError:
+            continue
+        vol = ttis.tile_volume
+        t_comp = spec.compute_time(vol)
+        elems = 0
+        n_dirs = 0
+        for dm in comm.d_m:
+            full = dm[:mapping_dim] + (0,) + dm[mapping_dim:]
+            lbs = comm.pack_lower_bounds(full)
+            frac = 1.0
+            for k in range(ttis.n):
+                frac *= (ttis.v[k] - lbs[k]) / ttis.v[k]
+            elems += int(round(vol * frac)) * arrays
+            n_dirs += 1
+        t_comm = (n_dirs * spec.net_latency
+                  + elems * spec.bytes_per_element / spec.net_bandwidth
+                  + 2 * elems * spec.time_per_packed_element)
+        if t_comm == 0:
+            continue
+        ratio = t_comp / t_comm
+        score = abs(ratio - 1.0)
+        if best is None or score < best[0]:
+            best = (score, int(ext))
+    if best is None:
+        raise ValueError("no candidate extent produced a valid tiling")
+    return best[1]
+
+
+def sweep_best_extent(
+    h_of_extent: Callable[[int], RatMat],
+    nest,
+    mapping_dim: int,
+    spec: ClusterSpec,
+    candidates: Sequence[int],
+) -> SweepOutcome:
+    """Simulate every candidate extent and keep the fastest."""
+    from repro.runtime.executor import DistributedRun, TiledProgram
+
+    curve = []
+    best = None
+    for ext in candidates:
+        h = h_of_extent(int(ext))
+        prog = TiledProgram(nest, h, mapping_dim=mapping_dim)
+        stats = DistributedRun(prog, spec).simulate()
+        t_seq = spec.compute_time(prog.total_points())
+        speedup = t_seq / stats.makespan
+        curve.append((int(ext), speedup))
+        if best is None or stats.makespan < best[1]:
+            best = (int(ext), stats.makespan, speedup)
+    return SweepOutcome(
+        best_extent=best[0],
+        best_makespan=best[1],
+        best_speedup=best[2],
+        curve=tuple(curve),
+    )
+
+
+def _transform_for(h: RatMat, nest):
+    from repro.tiling.transform import TilingTransformation
+
+    return TilingTransformation(h, nest.domain)

@@ -1,0 +1,79 @@
+"""Property test: emitted C bound expressions are semantically exact.
+
+The C strings from ``affine_to_c``/``bound_to_c`` happen to be valid
+Python once ``floord``/``ceild`` are defined (same integer semantics as
+the emitted C helpers), so we can *evaluate the emitted text* against
+exact Fraction arithmetic on random expressions and random variable
+assignments — the text itself is under test, not the machinery.
+"""
+
+import math
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.exprs import affine_to_c, bound_to_c
+from repro.polyhedra import Halfspace, Polyhedron, loop_bounds
+
+ENV = {
+    "floord": lambda a, b: a // b,
+    "ceild": lambda a, b: -((-a) // b),
+    "max": max,
+    "min": min,
+}
+
+
+@st.composite
+def affine_cases(draw):
+    n = draw(st.integers(0, 3))
+    coeffs = tuple(
+        Fraction(draw(st.integers(-6, 6)), draw(st.integers(1, 6)))
+        for _ in range(n)
+    )
+    const = Fraction(draw(st.integers(-12, 12)), draw(st.integers(1, 6)))
+    values = tuple(draw(st.integers(-9, 9)) for _ in range(n))
+    return coeffs, const, values
+
+
+@given(affine_cases(), st.sampled_from(["floor", "ceil"]))
+@settings(max_examples=200, deadline=None)
+def test_emitted_expression_matches_exact_value(case, rounding):
+    coeffs, const, values = case
+    names = [f"v{i}" for i in range(len(coeffs))]
+    text = affine_to_c(coeffs, const, names, rounding)
+    env = dict(ENV)
+    env.update(zip(names, values))
+    got = eval(text, {"__builtins__": {}}, env)
+    exact = sum((c * v for c, v in zip(coeffs, values)), const)
+    want = math.floor(exact) if rounding == "floor" else math.ceil(exact)
+    assert got == want, (text, values)
+
+
+@st.composite
+def bounded_polyhedra_1var(draw):
+    """Random constraints over (outer, x) bounding x both ways."""
+    cs = [
+        Halfspace.of([0, 1], draw(st.integers(0, 9))),      # x <= c
+        Halfspace.of([0, -1], draw(st.integers(0, 9))),     # x >= -c
+    ]
+    for _ in range(draw(st.integers(0, 2))):
+        a0 = draw(st.integers(-3, 3))
+        a1 = draw(st.sampled_from([-3, -2, -1, 1, 2, 3]))
+        b = draw(st.integers(-9, 9))
+        cs.append(Halfspace.of([a0, a1], b))
+    return Polyhedron(cs)
+
+
+@given(bounded_polyhedra_1var(), st.integers(-4, 4))
+@settings(max_examples=150, deadline=None)
+def test_emitted_bounds_match_loopbound_evaluate(p, outer):
+    bounds = loop_bounds(p)
+    b = bounds[1]
+    lo_txt = bound_to_c(b, ["v0"], "lower")
+    hi_txt = bound_to_c(b, ["v0"], "upper")
+    env = dict(ENV)
+    env["v0"] = outer
+    lo = eval(lo_txt, {"__builtins__": {}}, env)
+    hi = eval(hi_txt, {"__builtins__": {}}, env)
+    assert (lo, hi) == b.evaluate((outer,))

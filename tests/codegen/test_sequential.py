@@ -1,0 +1,70 @@
+"""Unit tests for sequential tiled code emission."""
+
+import pytest
+
+from repro.apps import adi, jacobi, sor
+from repro.codegen import generate_sequential_tiled_code
+
+
+class TestStructure:
+    def test_2n_loops(self, sor_small):
+        code = generate_sequential_tiled_code(
+            sor_small.nest, sor.h_nonrectangular(2, 3, 4))
+        assert code.count("for (long jS") == 3
+        assert code.count("for (long jp") == 3
+
+    def test_prologue_helpers_present(self, sor_small):
+        code = generate_sequential_tiled_code(
+            sor_small.nest, sor.h_rectangular(2, 3, 4))
+        assert "floord" in code and "ceild" in code
+
+    def test_boundary_guard_present(self, sor_small):
+        code = generate_sequential_tiled_code(
+            sor_small.nest, sor.h_nonrectangular(2, 3, 4))
+        assert "if (" in code
+
+    def test_braces_balanced(self, sor_small):
+        code = generate_sequential_tiled_code(
+            sor_small.nest, sor.h_nonrectangular(2, 3, 4))
+        assert code.count("{") == code.count("}")
+
+
+class TestSkewedIndexing:
+    def test_sor_array_expressions(self, sor_small):
+        """The skewed SOR must index A with unskewed expressions like
+        A[j0][-j0 + j1][-2*j0 + j2] (paper §4.1's skewed loop body)."""
+        code = generate_sequential_tiled_code(
+            sor_small.nest, sor.h_nonrectangular(2, 3, 4))
+        assert "A[j0][-j0 + j1][-2*j0 + j2]" in code
+
+    def test_jacobi_array_expressions(self, jacobi_small):
+        code = generate_sequential_tiled_code(
+            jacobi_small.nest, jacobi.h_rectangular(2, 4, 3))
+        assert "A[j0][-j0 + j1][-j0 + j2]" in code
+
+
+class TestStrides:
+    def test_unit_strides_for_rectangular(self, adi_small):
+        code = generate_sequential_tiled_code(
+            adi_small.nest, adi.h_rectangular(2, 3, 3))
+        assert "jp0 += 1" in code
+
+    def test_nonunit_stride_for_strided_lattice(self, jacobi_small):
+        """Jacobi H_nr has c = (1,2,1): dimension 1 steps by 2."""
+        code = generate_sequential_tiled_code(
+            jacobi_small.nest, jacobi.h_nonrectangular(2, 4, 3))
+        assert "jp1 += 2" in code
+
+    def test_incremental_offset_in_phase(self, jacobi_small):
+        """The HNF subdiagonal entry appears in the phase expression."""
+        code = generate_sequential_tiled_code(
+            jacobi_small.nest, jacobi.h_nonrectangular(2, 4, 3))
+        assert "ph1 = 1*x0" in code
+
+
+class TestMultiStatement:
+    def test_adi_two_statements(self, adi_small):
+        code = generate_sequential_tiled_code(
+            adi_small.nest, adi.h_nr3(2, 3, 3))
+        assert "F_X(" in code and "F_B(" in code
+        assert "A[j1][j2]" in code  # 2D input array projection

@@ -1,0 +1,40 @@
+"""Shared fixtures: small app instances and tilings used across suites."""
+
+import pytest
+
+from repro.apps import adi, jacobi, sor
+
+
+@pytest.fixture(scope="session")
+def sor_small():
+    return sor.app(4, 6)
+
+
+@pytest.fixture(scope="session")
+def jacobi_small():
+    return jacobi.app(3, 5, 5)
+
+
+@pytest.fixture(scope="session")
+def adi_small():
+    return adi.app(4, 5)
+
+
+@pytest.fixture(scope="session")
+def sor_reference_small():
+    return sor.reference(4, 6)
+
+
+@pytest.fixture(scope="session")
+def jacobi_reference_small():
+    return jacobi.reference(3, 5, 5)
+
+
+@pytest.fixture(scope="session")
+def adi_reference_small():
+    return adi.reference(4, 5)
+
+
+def values_close(a, b, tol=1e-11):
+    """Dict-to-dict comparison with exact key sets."""
+    return set(a) == set(b) and all(abs(a[k] - b[k]) < tol for k in a)

@@ -1,0 +1,81 @@
+"""Property-based tests: Tables 1-2 are exact bijections (paper §3.1)."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.distribution import (
+    CommunicationSpec,
+    ComputationDistribution,
+    DistributedAddressing,
+    LocalDataSpace,
+)
+from repro.linalg import RatMat
+from repro.polyhedra import box
+from repro.tiling import TilingTransformation, is_legal_tiling
+
+
+@st.composite
+def legal_2d_setups(draw):
+    """Random integer P (positive diagonal), box domain, and deps the
+    tiling is legal for."""
+    a = draw(st.integers(2, 4))
+    d = draw(st.integers(2, 4))
+    b = draw(st.integers(-2, 2))
+    p = RatMat([[a, b], [0, d]])
+    assume(p.det() != 0)
+    h = p.inverse()
+    deps = [(1, 0), (0, 1), (1, 1)]
+    assume(is_legal_tiling(h, deps))
+    lo = (draw(st.integers(-2, 0)), draw(st.integers(-2, 0)))
+    hi = (lo[0] + draw(st.integers(3, 9)), lo[1] + draw(st.integers(3, 9)))
+    return h, box(lo, hi), (lo, hi), deps
+
+
+@given(legal_2d_setups())
+@settings(max_examples=50, deadline=None)
+def test_loc_inverse_identity(setup):
+    h, domain, (lo, hi), deps = setup
+    tt = TilingTransformation(h, domain)
+    dist = ComputationDistribution(tt)
+    comm = CommunicationSpec(tt, deps, dist.m)
+    addr = DistributedAddressing(dist, comm)
+    for x in range(lo[0], hi[0] + 1):
+        for y in range(lo[1], hi[1] + 1):
+            pid, cell = addr.loc((x, y))
+            assert addr.loc_inv(cell, pid) == (x, y)
+
+
+@given(legal_2d_setups())
+@settings(max_examples=50, deadline=None)
+def test_loc_is_injective_per_processor(setup):
+    """Two different points never share (pid, cell) — owner-computes
+    storage is collision-free."""
+    h, domain, (lo, hi), deps = setup
+    tt = TilingTransformation(h, domain)
+    dist = ComputationDistribution(tt)
+    comm = CommunicationSpec(tt, deps, dist.m)
+    addr = DistributedAddressing(dist, comm)
+    seen = {}
+    for x in range(lo[0], hi[0] + 1):
+        for y in range(lo[1], hi[1] + 1):
+            key = addr.loc((x, y))
+            assert key not in seen, f"collision at {key}"
+            seen[key] = (x, y)
+
+
+@given(legal_2d_setups(), st.integers(1, 4))
+@settings(max_examples=50, deadline=None)
+def test_map_bijective_on_lattice(setup, ntiles):
+    h, domain, _, deps = setup
+    tt = TilingTransformation(h, domain)
+    dist = ComputationDistribution(tt)
+    comm = CommunicationSpec(tt, deps, dist.m)
+    lds = LocalDataSpace(comm, ntiles)
+    cells = set()
+    for jp in tt.ttis.lattice_points():
+        for t in range(ntiles):
+            cell = lds.map(jp, t)
+            assert lds.in_bounds(cell)
+            assert cell not in cells
+            cells.add(cell)
+            assert lds.map_inv(cell) == (tuple(jp), t)

@@ -1,0 +1,171 @@
+"""Unit tests for communication sets (CC vector, D^m, pack bounds)."""
+
+import pytest
+
+from repro.distribution import CommunicationSpec, ComputationDistribution
+from repro.polyhedra import box
+from repro.tiling import TilingTransformation
+from repro.tiling.shapes import parallelepiped_tiling, rectangular_tiling
+
+SOR_DEPS = [(0, 1, 0), (0, 0, 1), (1, 0, 2), (1, 1, 1), (1, 1, 2)]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    h = parallelepiped_tiling(
+        [["1/3", 0, 0], [0, "1/4", 0], ["-1/5", 0, "1/5"]])
+    tt = TilingTransformation(h, box([1, 1, 1], [9, 12, 20]))
+    dist = ComputationDistribution(tt)
+    comm = CommunicationSpec(tt, SOR_DEPS, dist.m)
+    return tt, dist, comm
+
+
+class TestCCVector:
+    def test_formula(self, setup):
+        tt, _, comm = setup
+        # cc_k = v_kk - max_l d'_kl
+        v = tt.ttis.v
+        for k in range(3):
+            assert comm.cc[k] == v[k] - max(0, comm.max_dp[k])
+
+    def test_communication_point_criterion(self, setup):
+        tt, _, comm = setup
+        v = tt.ttis.v
+        # a point at the very top of a crossed dimension communicates
+        probe = [0, 0, 0]
+        crossed = [k for k in range(3) if comm.max_dp[k] > 0]
+        assert crossed
+        probe[crossed[0]] = v[crossed[0]] - 1
+        assert comm.is_communication_point(probe)
+        assert not comm.is_communication_point((0, 0, 0))
+
+    def test_matches_bruteforce(self, setup):
+        """CC criterion == 'some dependence leaves the TTIS box'."""
+        tt, _, comm = setup
+        v = tt.ttis.v
+        dps = comm.d_prime
+        for jp in tt.ttis.lattice_points():
+            brute = any(
+                jp[k] + dp[k] > v[k] - 1
+                for dp in dps for k in range(3)
+            )
+            assert comm.is_communication_point(jp) == brute
+
+
+class TestProjections:
+    def test_dm_nonzero(self, setup):
+        _, _, comm = setup
+        for dm in comm.d_m:
+            assert any(dm)
+
+    def test_ds_of_dm_roundtrip(self, setup):
+        _, _, comm = setup
+        for dm in comm.d_m:
+            for ds in comm.ds_of_dm(dm):
+                assert comm.project(ds) == dm
+
+    def test_intra_processor(self, setup):
+        _, dist, comm = setup
+        chain_only = tuple(
+            1 if k == dist.m else 0 for k in range(3))
+        if chain_only in comm.d_s:
+            assert comm.is_intra_processor(chain_only)
+
+    def test_every_ds_covered(self, setup):
+        _, _, comm = setup
+        covered = {ds for dm in comm.d_m for ds in comm.ds_of_dm(dm)}
+        inter = {ds for ds in comm.d_s if not comm.is_intra_processor(ds)}
+        assert covered == inter
+
+
+class TestOffsets:
+    def test_mapping_dim_offset_is_one_tile(self, setup):
+        tt, dist, comm = setup
+        m = dist.m
+        assert comm.offsets[m] == tt.ttis.v[m] // tt.ttis.c[m]
+
+    def test_spatial_offsets_cover_halo(self, setup):
+        tt, dist, comm = setup
+        import math
+        for k in range(3):
+            if k == dist.m:
+                continue
+            assert comm.offsets[k] == max(
+                0, math.ceil(comm.max_dp[k] / tt.ttis.c[k]))
+
+
+class TestPackBounds:
+    def test_uncrossed_dims_full_range(self, setup):
+        _, _, comm = setup
+        lbs = comm.pack_lower_bounds((0, 0, 0))
+        assert lbs == (0, 0, 0)
+
+    def test_crossed_dim_starts_at_cc(self, setup):
+        _, dist, comm = setup
+        direction = tuple(
+            0 if k == dist.m else 1 for k in range(3))
+        lbs = comm.pack_lower_bounds(direction)
+        for k in range(3):
+            if k == dist.m:
+                assert lbs[k] == 0
+            else:
+                assert lbs[k] == comm.cc[k]
+
+    def test_mapping_dim_never_restricted(self, setup):
+        _, dist, comm = setup
+        direction = [1, 1, 1]
+        assert comm.pack_lower_bounds(direction)[dist.m] == 0
+
+
+class TestPreconditions:
+    def test_dependence_larger_than_tile_rejected(self):
+        """Regression (found by hypothesis): a dependence whose TTIS
+        image exceeds the tile extent would skip whole tiles; the spec
+        must refuse instead of miscommunicating."""
+        from repro.linalg import from_rows
+        h = from_rows([["2/3", "1/3"], ["1/3", "2/3"]])
+        tt = TilingTransformation(h, box([0, 0], [4, 5]))
+        with pytest.raises(ValueError, match="tile too small"):
+            CommunicationSpec(tt, [(1, 0), (1, 2)], 1)
+
+    def test_dependence_equal_to_tile_accepted(self):
+        h = rectangular_tiling([2, 2])
+        tt = TilingTransformation(h, box([0, 0], [7, 7]))
+        spec = CommunicationSpec(tt, [(2, 0), (0, 2)], 0)
+        assert spec.cc == (0, 0)  # whole tile is communication region
+
+
+class TestMinsucc:
+    def test_returns_dependent_tile(self, setup):
+        _, dist, comm = setup
+        tile = dist.tiles[len(dist.tiles) // 2]
+        for dm in comm.d_m:
+            succ = comm.minsucc(dist.valid, tile, dm)
+            if succ is not None:
+                assert dist.valid(succ)
+                diff = tuple(a - b for a, b in zip(succ, tile))
+                assert diff in comm.ds_of_dm(dm)
+
+    def test_none_at_boundary(self, setup):
+        _, dist, comm = setup
+        last = max(dist.tiles)
+        # a tile with no valid successors in some direction
+        assert any(
+            comm.minsucc(dist.valid, last, dm) is None
+            for dm in comm.d_m
+        )
+
+    def test_minimum_among_valid(self, setup):
+        _, dist, comm = setup
+        for tile in dist.tiles[:20]:
+            for dm in comm.d_m:
+                succ = comm.minsucc(dist.valid, tile, dm)
+                cands = [
+                    tuple(a + b for a, b in zip(tile, ds))
+                    for ds in comm.ds_of_dm(dm)
+                ]
+                valid_cands = [c for c in cands if dist.valid(c)]
+                if valid_cands:
+                    assert succ == min(valid_cands)
+                else:
+                    assert succ is None

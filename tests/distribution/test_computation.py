@@ -1,0 +1,75 @@
+"""Unit tests for the computation distribution (tiles -> processors)."""
+
+import pytest
+
+from repro.distribution import ComputationDistribution
+from repro.polyhedra import box
+from repro.tiling import TilingTransformation
+from repro.tiling.shapes import rectangular_tiling
+
+
+@pytest.fixture(scope="module")
+def dist():
+    h = rectangular_tiling([2, 3, 4])
+    tt = TilingTransformation(h, box([0, 0, 0], [5, 5, 19]))
+    return ComputationDistribution(tt)
+
+
+class TestMappingDim:
+    def test_longest_dimension_chosen(self, dist):
+        # dim 2 has 20/4 = 5 tiles vs 3 and 2
+        assert dist.m == 2
+
+    def test_override(self):
+        h = rectangular_tiling([2, 3, 4])
+        tt = TilingTransformation(h, box([0, 0, 0], [5, 5, 19]))
+        d = ComputationDistribution(tt, mapping_dim=0)
+        assert d.m == 0
+
+    def test_override_out_of_range(self):
+        h = rectangular_tiling([2, 2])
+        tt = TilingTransformation(h, box([0, 0], [3, 3]))
+        with pytest.raises(ValueError):
+            ComputationDistribution(tt, mapping_dim=5)
+
+
+class TestPids:
+    def test_pid_drops_mapping_coord(self, dist):
+        assert dist.pid_of((1, 0, 3)) == (1, 0)
+
+    def test_tile_at_inverse(self, dist):
+        for tile in dist.tiles:
+            assert dist.tile_at(dist.pid_of(tile), tile[dist.m]) == tile
+
+    def test_processor_count(self, dist):
+        # dims 0,1: 3 x 2 tiles
+        assert dist.num_processors == 6
+
+    def test_chains_cover_all_tiles(self, dist):
+        total = sum(len(dist.tiles_of(p)) for p in dist.processors)
+        assert total == len(dist.tiles)
+
+    def test_chains_sorted(self, dist):
+        for p in dist.processors:
+            chain = [t[dist.m] for t in dist.tiles_of(p)]
+            assert chain == sorted(chain)
+
+
+class TestChainIndex:
+    def test_zero_based_at_global_min(self, dist):
+        assert dist.l_s_m == 0
+        first = min(dist.tiles, key=lambda t: t[dist.m])
+        assert dist.chain_index(first) == 0
+
+    def test_chain_length_is_tile_count(self, dist):
+        for p in dist.processors:
+            assert dist.chain_length(p) == len(dist.tiles_of(p))
+
+    def test_chain_index_zero_based_per_pid(self, dist):
+        for p in dist.processors:
+            first = dist.tiles_of(p)[0]
+            assert dist.chain_index(first) == 0
+
+    def test_valid(self, dist):
+        assert dist.valid(dist.tiles[0])
+        assert not dist.valid((99, 99, 99))

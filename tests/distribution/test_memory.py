@@ -1,0 +1,80 @@
+"""Unit tests for the §3.1 memory-compression accounting."""
+
+import pytest
+
+from repro.apps import sor
+from repro.distribution import footprint_of, memory_report
+from repro.runtime import TiledProgram
+
+
+@pytest.fixture(scope="module")
+def sor_prog():
+    app = sor.app(8, 10)
+    return TiledProgram(app.nest, sor.h_nonrectangular(2, 4, 5),
+                        mapping_dim=2)
+
+
+class TestFootprint:
+    def test_points_partition(self, sor_prog):
+        rep = memory_report(sor_prog)
+        assert rep.total_points == 8 * 10 * 10
+
+    def test_lds_holds_all_computed_points(self, sor_prog):
+        """LDS cells >= computed points (it must store them all)."""
+        for f in memory_report(sor_prog).per_processor:
+            assert f.lds_cells >= f.computed_points
+
+    def test_naive_box_holds_all_points(self, sor_prog):
+        for f in memory_report(sor_prog).per_processor:
+            assert f.naive_box_cells >= f.computed_points
+
+    def test_skewed_share_is_nonrectangular(self, sor_prog):
+        """§3.1's premise: the processor's data-space share is non-
+        rectangular (its enclosing box strictly exceeds its points)."""
+        rep = memory_report(sor_prog)
+        assert rep.total_naive > 1.1 * rep.total_points
+
+    def test_lds_overhead_bounded(self, sor_prog):
+        """LDS = computation region + halo + boundary-chain slack; must
+        stay within a small constant factor of the owned points even at
+        toy sizes (it approaches ~halo-only overhead asymptotically)."""
+        rep = memory_report(sor_prog)
+        assert 1.0 <= rep.lds_overhead < 8.0
+
+    def test_overhead_shrinks_with_problem_size(self):
+        """Boundary slack amortizes: bigger instances, denser LDS."""
+        from repro.apps import sor as sor_app
+        small = TiledProgram(sor_app.app(8, 10).nest,
+                             sor_app.h_nonrectangular(2, 4, 5),
+                             mapping_dim=2)
+        large = TiledProgram(sor_app.app(24, 30).nest,
+                             sor_app.h_nonrectangular(6, 12, 5),
+                             mapping_dim=2)
+        assert memory_report(large).lds_overhead < \
+            memory_report(small).lds_overhead
+
+    def test_single_footprint_consistent_with_report(self, sor_prog):
+        rep = memory_report(sor_prog)
+        pid = sor_prog.pids[0]
+        solo = footprint_of(sor_prog, pid)
+        assert solo == rep.per_processor[0]
+
+
+class TestTable:
+    def test_table_lines(self, sor_prog):
+        rep = memory_report(sor_prog)
+        text = rep.table()
+        assert "TOTAL" in text
+        assert len(text.splitlines()) == len(rep.per_processor) + 2
+
+
+class TestRectangularBaseline:
+    def test_unskewed_rect_tiling_no_compression_win(self):
+        """On an axis-aligned domain with rectangular tiles the naive
+        box is already tight — compression ~ LDS halo overhead only."""
+        from repro.apps import adi
+        app = adi.app(6, 8)
+        prog = TiledProgram(app.nest, adi.h_rectangular(2, 4, 4),
+                            mapping_dim=0)
+        rep = memory_report(prog)
+        assert rep.compression < 1.2

@@ -1,0 +1,60 @@
+"""Unit tests for the experiment harness (small, fast instances)."""
+
+import pytest
+
+from repro.apps import sor
+from repro.experiments import run_experiment
+from repro.runtime import ClusterSpec
+
+
+@pytest.fixture(scope="module")
+def result(sor_tiny):
+    return run_experiment(sor_tiny, sor.h_nonrectangular(2, 3, 4),
+                          "nr-test", ClusterSpec())
+
+
+@pytest.fixture(scope="module")
+def sor_tiny():
+    return sor.app(6, 8)
+
+
+class TestExperimentResult:
+    def test_speedup_definition(self, result):
+        assert result.speedup == pytest.approx(result.t_seq / result.t_par)
+
+    def test_t_seq_is_total_work(self, result):
+        spec = ClusterSpec()
+        assert result.t_seq == pytest.approx(
+            spec.compute_time(result.total_points))
+
+    def test_total_points(self, result):
+        assert result.total_points == 6 * 8 * 8
+
+    def test_efficiency_bounded(self, result):
+        assert 0 < result.efficiency <= 1.0
+
+    def test_speedup_bounded_by_processors(self, result):
+        assert result.speedup <= result.processors
+
+    def test_row_shape(self, result):
+        row = result.row()
+        assert row[1] == "nr-test"
+        assert isinstance(row[-1], float)
+
+    def test_messages_positive_with_multiple_pids(self, result):
+        if result.processors > 1:
+            assert result.messages > 0
+
+
+class TestCustomSpec:
+    def test_faster_network_helps(self, sor_tiny):
+        h = sor.h_nonrectangular(2, 3, 4)
+        slow = run_experiment(sor_tiny, h, "slow",
+                              ClusterSpec(net_bandwidth=1e6))
+        fast = run_experiment(sor_tiny, h, "fast",
+                              ClusterSpec(net_bandwidth=1e9))
+        assert fast.speedup > slow.speedup
+
+    def test_default_spec_used_when_none(self, sor_tiny):
+        r = run_experiment(sor_tiny, sor.h_nonrectangular(2, 3, 4), "d")
+        assert r.t_par > 0

@@ -1,0 +1,117 @@
+"""Unit tests for the HTML/SVG experiment report."""
+
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.figures import FigureResult, FigureSeries
+from repro.experiments.html_report import (
+    figure_to_svg,
+    report_html,
+)
+
+
+def _fig(nseries=2, nx=3):
+    labels = ["rect", "nr1", "nr2", "nr3"][:nseries]
+    series = tuple(
+        FigureSeries(l, tuple((x, 1.0 + 0.5 * i + 0.2 * x)
+                              for x in range(1, nx + 1)))
+        for i, l in enumerate(labels)
+    )
+    return FigureResult(figure="t", title="Test figure",
+                        xlabel="z", series=series, details=())
+
+
+class TestSvg:
+    def test_wellformed_xml(self):
+        ET.fromstring(figure_to_svg(_fig()))
+
+    def test_one_path_per_series(self):
+        root = ET.fromstring(figure_to_svg(_fig(4)))
+        paths = [e for e in root.iter() if e.tag.endswith("path")]
+        assert len(paths) == 4
+
+    def test_markers_have_surface_ring(self):
+        root = ET.fromstring(figure_to_svg(_fig()))
+        for c in (e for e in root.iter() if e.tag.endswith("circle")):
+            assert c.get("stroke") == "var(--surface-1)"
+            assert c.get("stroke-width") == "2"
+            assert float(c.get("r")) >= 4
+
+    def test_lines_are_2px_round(self):
+        root = ET.fromstring(figure_to_svg(_fig()))
+        for p in (e for e in root.iter() if e.tag.endswith("path")):
+            assert p.get("stroke-width") == "2"
+            assert p.get("stroke-linecap") == "round"
+
+    def test_fixed_series_color_order(self):
+        svg = figure_to_svg(_fig(3))
+        assert svg.index("var(--series-1)") < svg.index("var(--series-2)")
+        assert "var(--series-4)" not in svg
+
+    def test_tooltips_present(self):
+        svg = figure_to_svg(_fig())
+        assert svg.count("<title>") >= 6  # one per marker
+
+    def test_text_never_wears_series_color(self):
+        root = ET.fromstring(figure_to_svg(_fig(4)))
+        for t in (e for e in root.iter() if e.tag.endswith("text")):
+            assert t.get("fill") is None  # inherits text tokens via CSS
+
+    def test_no_text_outside_viewbox(self):
+        root = ET.fromstring(figure_to_svg(_fig(4)))
+        vb = [float(x) for x in root.get("viewBox").split()]
+        for t in (e for e in root.iter() if e.tag.endswith("text")):
+            assert 0 <= float(t.get("x")) <= vb[2]
+            assert 0 <= float(t.get("y")) <= vb[3] + 1
+
+    def test_converging_end_labels_not_stacked(self):
+        """Series ending at the same value: only one direct label; the
+        legend carries the rest."""
+        series = tuple(
+            FigureSeries(l, ((1, 1.0), (2, 2.0)))
+            for l in ("a", "b", "c")
+        )
+        fig = FigureResult(figure="t", title="conv", xlabel="x",
+                           series=series, details=())
+        root = ET.fromstring(figure_to_svg(fig))
+        end_labels = [t for t in root.iter()
+                      if t.tag.endswith("text") and t.text in "abc"]
+        assert len(end_labels) == 1
+
+    def test_empty_figure_rejected(self):
+        fig = FigureResult(figure="t", title="x", xlabel="x",
+                           series=(FigureSeries("a", ()),), details=())
+        with pytest.raises(ValueError):
+            figure_to_svg(fig)
+
+
+class TestReport:
+    def test_self_contained_html(self):
+        html = report_html([_fig()])
+        assert html.startswith("<!doctype html>")
+        assert "<script" not in html  # no external deps
+        assert "prefers-color-scheme: dark" in html
+
+    def test_legend_present_for_multi_series(self):
+        html = report_html([_fig(3)])
+        assert html.count('class="key"') == 3
+
+    def test_no_legend_for_single_series(self):
+        html = report_html([_fig(1)])
+        assert 'class="key"' not in html
+
+    def test_table_view_present(self):
+        """Relief rule: low-contrast hues require the data table."""
+        html = report_html([_fig(4)])
+        assert "<table>" in html
+        assert html.count("<tr>") >= 3
+
+    def test_real_figure_roundtrip(self):
+        from repro.experiments import figures
+        from repro.runtime import ClusterSpec
+        fig = figures.fig6(m=20, n=30, z_values=(3, 6),
+                           spec=ClusterSpec())
+        html = report_html([fig])
+        ET.fromstring(re.search(r"<svg.*?</svg>", html, re.S).group(0))

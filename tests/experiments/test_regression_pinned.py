@@ -1,0 +1,51 @@
+"""Pinned end-to-end regression values.
+
+The virtual cluster is deterministic, so figure series are *exactly*
+reproducible.  These values were produced by the current pipeline and
+pin every layer at once (tiling, distribution, communication sizes,
+DES timing, cost model).  If a change moves them, it changed observable
+behaviour — either fix the change or re-pin deliberately and say why in
+the commit.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.runtime import ClusterSpec
+
+SPEC = ClusterSpec()  # default FastEthernet model
+
+FIG6_PINNED = {
+    "rectangular": {4: 2.024014676, 8: 2.239039494},
+    "non-rectangular": {4: 2.522117791, 8: 2.703805395},
+}
+
+FIG10_PINNED = {
+    "rect": {2: 1.617485907, 4: 1.936879603},
+    "nr1": {2: 1.890439726, 4: 2.481058407},
+    "nr2": {2: 1.759380895, 4: 2.217440145},
+    "nr3": {2: 2.025717112, 4: 2.880450070},
+}
+
+
+class TestPinnedFigures:
+    def test_fig6_small_instance(self):
+        fig = figures.fig6(m=40, n=60, z_values=(4, 8), spec=SPEC)
+        got = fig.series_map()
+        for label, series in FIG6_PINNED.items():
+            for x, v in series.items():
+                assert got[label][x] == pytest.approx(v, abs=1e-6), (
+                    label, x)
+
+    def test_fig10_small_instance(self):
+        fig = figures.fig10(t=20, n=32, x_values=(2, 4), spec=SPEC)
+        got = fig.series_map()
+        for label, series in FIG10_PINNED.items():
+            for x, v in series.items():
+                assert got[label][x] == pytest.approx(v, abs=1e-6), (
+                    label, x)
+
+    def test_rerun_is_bit_identical(self):
+        a = figures.fig6(m=40, n=60, z_values=(4,), spec=SPEC)
+        b = figures.fig6(m=40, n=60, z_values=(4,), spec=SPEC)
+        assert a.series_map() == b.series_map()

@@ -1,0 +1,63 @@
+"""Unit tests for processor-grid extent selection."""
+
+import pytest
+
+from repro.experiments import processor_grid_sizes, tile_count_extent
+
+
+class TestTileCountExtent:
+    def test_exact_division(self):
+        # [0, 99] with s=25 -> tiles 0..3
+        assert tile_count_extent(0, 99, 4) == 25
+
+    def test_one_based_range(self):
+        # [1, 100]: s=25 gives 5 tile rows (0..4); smallest with 4 is 26
+        s = tile_count_extent(1, 100, 4)
+        assert s == 26
+        assert 100 // s - 1 // s + 1 == 4
+
+    def test_single_tile(self):
+        s = tile_count_extent(3, 9, 1)
+        assert 9 // s == 3 // s
+
+    def test_single_tile_needs_extent_past_hi(self):
+        assert tile_count_extent(3, 9, 1) == 10
+
+    def test_single_tile_impossible_across_zero(self):
+        """lo < 0 <= hi always spans two tile rows (floor division)."""
+        with pytest.raises(ValueError):
+            tile_count_extent(-7, 8, 1)
+
+    def test_count_equals_span(self):
+        assert tile_count_extent(5, 8, 4) == 1
+
+    def test_negative_lo(self):
+        s = tile_count_extent(-7, 8, 4)
+        assert 8 // s - (-7) // s + 1 == 4
+
+    def test_impossible_count(self):
+        with pytest.raises(ValueError):
+            tile_count_extent(0, 3, 10)
+
+    def test_empty_range(self):
+        with pytest.raises(ValueError):
+            tile_count_extent(5, 4, 1)
+
+    @pytest.mark.parametrize("lo,hi,count", [
+        (1, 100, 4), (2, 300, 4), (3, 400, 5), (1, 256, 4), (2, 150, 3),
+    ])
+    def test_postcondition(self, lo, hi, count):
+        s = tile_count_extent(lo, hi, count)
+        assert hi // s - lo // s + 1 == count
+
+
+class TestProcessorGrid:
+    def test_4x4(self):
+        sizes = processor_grid_sizes([(1, 100), (2, 300)], [4, 4])
+        assert len(sizes) == 2
+        for (lo, hi), g, s in zip([(1, 100), (2, 300)], [4, 4], sizes):
+            assert hi // s - lo // s + 1 == g
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            processor_grid_sizes([(0, 9)], [2, 2])

@@ -1,0 +1,94 @@
+"""Unit tests for Hermite Normal Form (the stride/offset source)."""
+
+import pytest
+
+from repro.linalg import (
+    RatMat,
+    column_hnf,
+    is_column_hnf,
+    is_unimodular,
+    row_hnf,
+)
+
+
+class TestColumnHNF:
+    def test_identity(self):
+        b, u = column_hnf([[1, 0], [0, 1]])
+        assert b == RatMat([[1, 0], [0, 1]])
+        assert u == RatMat([[1, 0], [0, 1]])
+
+    def test_product_identity(self):
+        a = RatMat([[2, -1, 0], [0, 1, 0], [0, 0, 1]])
+        b, u = column_hnf(a)
+        assert a @ u == b
+        assert is_unimodular(u)
+        assert is_column_hnf(b)
+
+    def test_negative_pivot_flipped(self):
+        b, _ = column_hnf([[-3, 0], [1, 2]])
+        assert b[0, 0] > 0 and b[1, 1] > 0
+
+    def test_lower_triangular(self):
+        b, _ = column_hnf([[4, 7, 2], [1, 3, 9], [5, 0, 6]])
+        assert b[0, 1] == 0 and b[0, 2] == 0 and b[1, 2] == 0
+
+    def test_offdiag_reduced(self):
+        b, _ = column_hnf([[6, 4], [2, 8]])
+        assert 0 <= b[1, 0] < b[1, 1]
+
+    def test_det_preserved_up_to_sign(self):
+        a = RatMat([[3, 1, 4], [1, 5, 9], [2, 6, 5]])
+        b, _ = column_hnf(a)
+        assert abs(b.det()) == abs(a.det())
+
+    def test_singular_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            column_hnf([[1, 2], [2, 4]])
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            column_hnf([[1, 2, 3], [4, 5, 6]])
+
+    def test_paper_jacobi_h_prime(self):
+        """H' of the Jacobi non-rectangular tiling: strides (1, 2, 1)."""
+        hp = RatMat([[2, -1, 0], [0, 1, 0], [0, 0, 1]])
+        b, u = column_hnf(hp)
+        assert (int(b[0, 0]), int(b[1, 1]), int(b[2, 2])) == (1, 2, 1)
+        assert hp @ u == b
+
+    def test_hnf_of_hnf_is_fixed_point(self):
+        a = [[2, 0, 0], [1, 3, 0], [0, 2, 4]]
+        b, _ = column_hnf(a)
+        b2, u2 = column_hnf(b)
+        assert b2 == b
+        assert u2 == RatMat([[1, 0, 0], [0, 1, 0], [0, 0, 1]])
+
+
+class TestRowHNF:
+    def test_product(self):
+        a = RatMat([[4, 7], [2, 9]])
+        b, u = row_hnf(a)
+        assert u @ a == b
+        assert is_unimodular(u)
+
+    def test_upper_triangular(self):
+        b, _ = row_hnf([[4, 7, 2], [1, 3, 9], [5, 0, 6]])
+        assert b[1, 0] == 0 and b[2, 0] == 0 and b[2, 1] == 0
+
+    def test_positive_diagonal(self):
+        b, _ = row_hnf([[-2, 5], [3, -1]])
+        assert b[0, 0] > 0 and b[1, 1] > 0
+
+
+class TestIsColumnHnf:
+    def test_accepts(self):
+        assert is_column_hnf([[2, 0], [1, 3]])
+
+    def test_rejects_upper_entry(self):
+        assert not is_column_hnf([[2, 1], [0, 3]])
+
+    def test_rejects_negative_diag(self):
+        assert not is_column_hnf([[-2, 0], [0, 3]])
+
+    def test_rejects_unreduced(self):
+        assert not is_column_hnf([[2, 0], [5, 3]])

@@ -1,0 +1,174 @@
+"""Unit tests for exact rational matrices."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.linalg import RatMat, diag, from_rows, identity, lcm, rat
+
+
+class TestRat:
+    def test_int(self):
+        assert rat(3) == Fraction(3)
+
+    def test_string_fraction(self):
+        assert rat("2/6") == Fraction(1, 3)
+
+    def test_fraction_passthrough(self):
+        f = Fraction(5, 7)
+        assert rat(f) is f
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            rat(0.5)
+
+    def test_negative_string(self):
+        assert rat("-1/8") == Fraction(-1, 8)
+
+
+class TestLcm:
+    def test_basic(self):
+        assert lcm(4, 6) == 12
+
+    def test_coprime(self):
+        assert lcm(3, 7) == 21
+
+    def test_zero(self):
+        assert lcm(0, 5) == 0
+
+    def test_equal(self):
+        assert lcm(8, 8) == 8
+
+
+class TestConstruction:
+    def test_shape(self):
+        m = RatMat([[1, 2, 3], [4, 5, 6]])
+        assert m.shape == (2, 3)
+        assert m.nrows == 2 and m.ncols == 3
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            RatMat([[1, 2], [3]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RatMat([])
+
+    def test_string_entries(self):
+        m = from_rows([["1/2", "1/3"], [0, 1]])
+        assert m[0, 0] == Fraction(1, 2)
+        assert m[0, 1] == Fraction(1, 3)
+
+    def test_identity(self):
+        i3 = identity(3)
+        assert i3[0, 0] == 1 and i3[0, 1] == 0
+        assert i3.is_square()
+
+    def test_diag(self):
+        d = diag([2, "1/3"])
+        assert d[0, 0] == 2 and d[1, 1] == Fraction(1, 3) and d[0, 1] == 0
+
+    def test_equality_and_hash(self):
+        a = RatMat([[1, 2], [3, 4]])
+        b = from_rows([["2/2", 2], [3, "8/2"]])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr_round_readable(self):
+        assert "RatMat" in repr(RatMat([[1]]))
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a = RatMat([[1, 2], [3, 4]])
+        b = RatMat([[4, 3], [2, 1]])
+        assert (a + b) == RatMat([[5, 5], [5, 5]])
+        assert (a - a) == RatMat([[0, 0], [0, 0]])
+
+    def test_neg_scale(self):
+        a = RatMat([[1, -2]])
+        assert -a == RatMat([[-1, 2]])
+        assert a.scale("1/2") == from_rows([["1/2", -1]])
+
+    def test_matmul(self):
+        a = RatMat([[1, 2], [3, 4]])
+        b = RatMat([[0, 1], [1, 0]])
+        assert a @ b == RatMat([[2, 1], [4, 3]])
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            RatMat([[1, 2]]) @ RatMat([[1, 2]])
+
+    def test_matvec(self):
+        a = RatMat([[1, 2], [3, 4]])
+        assert a.matvec([1, 1]) == (Fraction(3), Fraction(7))
+
+    def test_matvec_length_mismatch(self):
+        with pytest.raises(ValueError):
+            RatMat([[1, 2]]).matvec([1])
+
+    def test_transpose(self):
+        a = RatMat([[1, 2, 3], [4, 5, 6]])
+        assert a.transpose() == RatMat([[1, 4], [2, 5], [3, 6]])
+
+    def test_hstack_vstack(self):
+        a = RatMat([[1], [2]])
+        b = RatMat([[3], [4]])
+        assert a.hstack(b) == RatMat([[1, 3], [2, 4]])
+        assert a.vstack(b) == RatMat([[1], [2], [3], [4]])
+
+
+class TestSolve:
+    def test_det_triangular(self):
+        assert RatMat([[2, 0], [5, 3]]).det() == 6
+
+    def test_det_singular(self):
+        assert RatMat([[1, 2], [2, 4]]).det() == 0
+
+    def test_det_permutation_sign(self):
+        assert RatMat([[0, 1], [1, 0]]).det() == -1
+
+    def test_inverse_roundtrip(self):
+        a = from_rows([["1/2", "-1/4", 0], [0, "1/4", 0], [0, 0, "1/3"]])
+        assert a @ a.inverse() == identity(3)
+        assert a.inverse() @ a == identity(3)
+
+    def test_inverse_singular_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            RatMat([[1, 1], [1, 1]]).inverse()
+
+    def test_solve(self):
+        a = RatMat([[2, 1], [1, 3]])
+        x = a.solve([5, 10])
+        assert a.matvec(x) == (Fraction(5), Fraction(10))
+
+    def test_paper_sor_inverse(self):
+        """P = H^{-1} for the SOR non-rectangular tiling (x=y=z=4)."""
+        h = from_rows([["1/4", 0, 0], [0, "1/4", 0], ["-1/4", 0, "1/4"]])
+        p = h.inverse()
+        assert p == RatMat([[4, 0, 0], [0, 4, 0], [4, 0, 4]])
+        assert abs(p.det()) == 64  # tile volume xyz
+
+
+class TestIntegrality:
+    def test_is_integer(self):
+        assert RatMat([[1, 2], [3, 4]]).is_integer()
+        assert not from_rows([["1/2", 0], [0, 1]]).is_integer()
+
+    def test_to_int_rows(self):
+        assert RatMat([[1, -2]]).to_int_rows() == ((1, -2),)
+
+    def test_to_int_rows_raises(self):
+        with pytest.raises(ValueError):
+            from_rows([["1/2"]]).to_int_rows()
+
+    def test_denominator_lcm_per_row(self):
+        h = from_rows([["1/2", "-1/4", 0], [0, "1/6", 0], [0, 0, 1]])
+        assert h.denominator_lcm_per_row() == (4, 6, 1)
+
+    def test_v_times_h_integral(self):
+        """The defining property of the paper's V matrix."""
+        h = from_rows([["1/3", "-1/6", 0], [0, "1/5", 0],
+                       ["-1/7", 0, "1/7"]])
+        v = diag(h.denominator_lcm_per_row())
+        assert (v @ h).is_integer()

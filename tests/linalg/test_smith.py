@@ -1,0 +1,40 @@
+"""Unit tests for the Smith Normal Form."""
+
+import pytest
+
+from repro.linalg import RatMat, smith_normal_form
+
+
+class TestSmith:
+    def test_textbook_example(self):
+        s, u, v = smith_normal_form([[2, 4], [6, 8]])
+        assert s == RatMat([[2, 0], [0, 4]])
+        assert u @ RatMat([[2, 4], [6, 8]]) @ v == s
+
+    def test_identity(self):
+        s, _, _ = smith_normal_form([[1, 0], [0, 1]])
+        assert s == RatMat([[1, 0], [0, 1]])
+
+    def test_diagonal_divisibility_enforced(self):
+        s, _, _ = smith_normal_form([[2, 0], [0, 3]])
+        assert s == RatMat([[1, 0], [0, 6]])
+
+    def test_singular_matrix(self):
+        s, u, v = smith_normal_form([[1, 2], [2, 4]])
+        assert u @ RatMat([[1, 2], [2, 4]]) @ v == s
+        assert s[1, 1] == 0  # rank 1
+
+    def test_negative_entries(self):
+        a = [[-3, 1], [2, -5]]
+        s, u, v = smith_normal_form(a)
+        assert u @ RatMat(a) @ v == s
+        assert s[0, 0] >= 0 and s[1, 1] >= 0
+
+    def test_sor_h_prime_is_unimodular_lattice(self):
+        """SOR's H' has |det| = 1: its lattice is all of Z^3."""
+        s, _, _ = smith_normal_form([[1, 0, 0], [0, 1, 0], [-1, 0, 1]])
+        assert s == RatMat([[1, 0, 0], [0, 1, 0], [0, 0, 1]])
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            smith_normal_form([[1, 2, 3], [4, 5, 6]])

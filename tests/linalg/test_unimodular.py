@@ -1,0 +1,43 @@
+"""Unit tests for unimodularity checks and integer inverses."""
+
+import pytest
+
+from repro.linalg import RatMat, from_rows, integer_inverse, is_unimodular
+
+
+class TestIsUnimodular:
+    def test_identity(self):
+        assert is_unimodular([[1, 0], [0, 1]])
+
+    def test_paper_sor_skew(self):
+        assert is_unimodular([[1, 0, 0], [1, 1, 0], [2, 0, 1]])
+
+    def test_paper_jacobi_skew(self):
+        assert is_unimodular([[1, 0, 0], [1, 1, 0], [1, 0, 1]])
+
+    def test_det_two_rejected(self):
+        assert not is_unimodular([[2, 0], [0, 1]])
+
+    def test_det_minus_one_accepted(self):
+        assert is_unimodular([[0, 1], [1, 0]])
+
+    def test_fractional_rejected(self):
+        assert not is_unimodular(from_rows([["1/2", 0], [0, 2]]))
+
+    def test_non_square_rejected(self):
+        assert not is_unimodular([[1, 0, 0], [0, 1, 0]])
+
+
+class TestIntegerInverse:
+    def test_skew_inverse(self):
+        t = RatMat([[1, 0, 0], [1, 1, 0], [2, 0, 1]])
+        tinv = integer_inverse(t)
+        assert tinv == RatMat([[1, 0, 0], [-1, 1, 0], [-2, 0, 1]])
+
+    def test_inverse_is_integral(self):
+        t = RatMat([[1, 3], [0, 1]])
+        assert integer_inverse(t).is_integer()
+
+    def test_non_unimodular_raises(self):
+        with pytest.raises(ValueError):
+            integer_inverse(RatMat([[2, 0], [0, 1]]))

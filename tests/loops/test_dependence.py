@@ -1,0 +1,109 @@
+"""Unit tests for uniform dependence extraction."""
+
+import pytest
+
+from repro.linalg import RatMat
+from repro.loops import (
+    ArrayRef,
+    Statement,
+    dependence_matrix,
+    is_lexicographically_positive,
+    nest_dependences,
+    uniform_dependences,
+    validate_dependences,
+)
+
+
+def _stmt(write_off, read_offs, array="A"):
+    return Statement.of(
+        ArrayRef.of(array, write_off),
+        [ArrayRef.of(array, r) for r in read_offs],
+    )
+
+
+class TestUniformDependences:
+    def test_simple_stencil(self):
+        w = ArrayRef.of("A", (0, 0))
+        reads = [ArrayRef.of("A", (-1, 0)), ArrayRef.of("A", (0, -1))]
+        assert uniform_dependences(w, reads) == ((1, 0), (0, 1))
+
+    def test_other_array_ignored(self):
+        w = ArrayRef.of("A", (0, 0))
+        reads = [ArrayRef.of("B", (-1, 0))]
+        assert uniform_dependences(w, reads) == ()
+
+    def test_self_read_no_dependence(self):
+        w = ArrayRef.of("A", (0, 0))
+        assert uniform_dependences(w, [ArrayRef.of("A", (0, 0))]) == ()
+
+    def test_non_uniform_rejected(self):
+        w = ArrayRef.of("A", (0, 0))
+        skewed = ArrayRef.of("A", (0, 0), RatMat([[1, 1], [0, 1]]))
+        with pytest.raises(ValueError):
+            uniform_dependences(w, [skewed])
+
+    def test_shared_access_matrix_solved(self):
+        m = RatMat([[1, 1], [0, 1]])
+        w = ArrayRef.of("A", (0, 0), m)
+        r = ArrayRef.of("A", (-1, -1), m)
+        # F d = (1, 1) with F = [[1,1],[0,1]] -> d = (0, 1)
+        assert uniform_dependences(w, [r]) == ((0, 1),)
+
+
+class TestNestDependences:
+    def test_cross_array(self):
+        """X reads B, B written by another statement: dep still found."""
+        sx = Statement.of(
+            ArrayRef.of("X", (0, 0)),
+            [ArrayRef.of("X", (-1, 0)), ArrayRef.of("B", (-1, -1))],
+        )
+        sb = Statement.of(
+            ArrayRef.of("B", (0, 0)),
+            [ArrayRef.of("B", (-1, 0))],
+        )
+        deps = nest_dependences([sx, sb])
+        assert set(deps) == {(1, 0), (1, 1)}
+
+    def test_duplicates_merged(self):
+        s1 = _stmt((0, 0), [(-1, 0)])
+        s2 = Statement.of(
+            ArrayRef.of("B", (0, 0)),
+            [ArrayRef.of("B", (-1, 0))],
+        )
+        assert nest_dependences([s1, s2]) == ((1, 0),)
+
+    def test_paper_adi_dependences(self, adi_small):
+        assert set(adi_small.nest.dependences) == {
+            (1, 0, 0), (1, 1, 0), (1, 0, 1)
+        }
+
+
+class TestDependenceMatrix:
+    def test_columns(self):
+        d = dependence_matrix([(1, 2), (3, 4)])
+        assert d == ((1, 3), (2, 4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dependence_matrix([])
+
+    def test_mixed_dims_rejected(self):
+        with pytest.raises(ValueError):
+            dependence_matrix([(1, 2), (3,)])
+
+
+class TestLexPositivity:
+    def test_positive(self):
+        assert is_lexicographically_positive((0, 0, 1))
+        assert is_lexicographically_positive((1, -5, 0))
+
+    def test_negative(self):
+        assert not is_lexicographically_positive((0, -1, 5))
+        assert not is_lexicographically_positive((0, 0, 0))
+
+    def test_validate_raises(self):
+        with pytest.raises(ValueError):
+            validate_dependences([(1, 0), (0, -1)])
+
+    def test_validate_passes(self):
+        validate_dependences([(1, -1), (0, 1)])

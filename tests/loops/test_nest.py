@@ -1,0 +1,49 @@
+"""Unit tests for the loop-nest IR."""
+
+import pytest
+
+from repro.loops import ArrayRef, LoopNest, Statement
+
+
+def _stmt(n=2):
+    return Statement.of(
+        ArrayRef.of("A", tuple([0] * n)),
+        [ArrayRef.of("A", tuple([-1] + [0] * (n - 1)))],
+    )
+
+
+class TestLoopNest:
+    def test_rectangular(self):
+        nest = LoopNest.rectangular("t", [0, 0], [3, 4], [_stmt()],
+                                    [(1, 0)])
+        assert nest.depth == 2
+        assert nest.domain.contains((3, 4))
+        assert not nest.domain.contains((4, 0))
+
+    def test_written_arrays(self):
+        nest = LoopNest.rectangular("t", [0, 0], [1, 1], [_stmt()],
+                                    [(1, 0)])
+        assert nest.written_arrays == ("A",)
+
+    def test_no_statements_rejected(self):
+        with pytest.raises(ValueError):
+            LoopNest.rectangular("t", [0], [1], [], [])
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LoopNest.rectangular("t", [0, 0, 0], [1, 1, 1], [_stmt(2)],
+                                 [(1, 0, 0)])
+
+    def test_bad_dependence_dim_rejected(self):
+        with pytest.raises(ValueError):
+            LoopNest.rectangular("t", [0, 0], [1, 1], [_stmt()], [(1,)])
+
+    def test_double_write_rejected(self):
+        with pytest.raises(ValueError):
+            LoopNest.rectangular("t", [0, 0], [1, 1],
+                                 [_stmt(), _stmt()], [(1, 0)])
+
+    def test_dependence_matrix_columns(self):
+        nest = LoopNest.rectangular("t", [0, 0], [1, 1], [_stmt()],
+                                    [(1, 0), (0, 1)])
+        assert nest.dependence_matrix_columns() == ((1, 0), (0, 1))

@@ -1,0 +1,46 @@
+"""Unit tests for affine array references."""
+
+import pytest
+
+from repro.linalg import RatMat
+from repro.loops import ArrayRef
+
+
+class TestArrayRef:
+    def test_identity_index(self):
+        r = ArrayRef.of("A", (-1, 0, 1))
+        assert r.index((5, 5, 5)) == (4, 5, 6)
+
+    def test_matrix_index(self):
+        proj = RatMat([[0, 1, 0], [0, 0, 1]])
+        r = ArrayRef.of("A", (0, 0), proj)
+        assert r.index((7, 2, 3)) == (2, 3)
+
+    def test_matrix_with_offset(self):
+        m = RatMat([[1, 1], [0, 1]])
+        r = ArrayRef.of("A", (1, -1), m)
+        assert r.index((2, 3)) == (6, 2)
+
+    def test_uniform_translate_same_matrix(self):
+        a = ArrayRef.of("A", (0, 0))
+        b = ArrayRef.of("A", (-1, -2))
+        assert b.is_uniform_translate_of(a)
+
+    def test_not_translate_different_matrix(self):
+        a = ArrayRef.of("A", (0, 0))
+        b = ArrayRef.of("A", (0, 0), RatMat([[1, 1], [0, 1]]))
+        assert not b.is_uniform_translate_of(a)
+
+    def test_not_translate_different_array(self):
+        a = ArrayRef.of("A", (0, 0))
+        b = ArrayRef.of("B", (0, 0))
+        assert not b.is_uniform_translate_of(a)
+
+    def test_fractional_index_rejected(self):
+        from repro.linalg import from_rows
+        r = ArrayRef.of("A", (0,), from_rows([["1/2", 0]]))
+        with pytest.raises(ValueError):
+            r.index((1, 0))
+
+    def test_dim(self):
+        assert ArrayRef.of("A", (0, 0, 0)).dim == 3

@@ -1,0 +1,66 @@
+"""Unit + property tests for exact rational emptiness."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedra import (
+    Halfspace,
+    Polyhedron,
+    box,
+    contains_integer_point,
+    is_rationally_empty,
+)
+
+
+class TestUnit:
+    def test_box_nonempty(self):
+        assert not is_rationally_empty(box([0, 0], [3, 3]))
+
+    def test_contradictory_bounds(self):
+        p = box([0], [5]).with_constraint(Halfspace.of([-1], -10))
+        assert is_rationally_empty(p)
+
+    def test_constant_contradiction(self):
+        p = Polyhedron([Halfspace.of([0, 0], -1)])
+        assert is_rationally_empty(p)
+
+    def test_thin_rational_slab_is_nonempty(self):
+        """1/3 <= x <= 2/3 has rational points but no integer ones."""
+        p = Polyhedron([Halfspace.of([3], 2), Halfspace.of([-3], -1)])
+        assert not is_rationally_empty(p)
+        assert not contains_integer_point(p)
+
+    def test_empty_after_combination(self):
+        # x + y <= 0 and x, y >= 1
+        p = box([1, 1], [10, 10]).with_constraint(Halfspace.of([1, 1], 0))
+        assert is_rationally_empty(p)
+
+    def test_single_point(self):
+        p = box([2, 3], [2, 3])
+        assert not is_rationally_empty(p)
+
+
+@st.composite
+def random_2d(draw):
+    lo = (draw(st.integers(-3, 1)), draw(st.integers(-3, 1)))
+    hi = (lo[0] + draw(st.integers(0, 6)), lo[1] + draw(st.integers(0, 6)))
+    p = box(lo, hi)
+    for _ in range(draw(st.integers(0, 3))):
+        a = [draw(st.integers(-3, 3)), draw(st.integers(-3, 3))]
+        b = draw(st.integers(-6, 6))
+        p = p.with_constraint(Halfspace.of(a, b))
+    return p
+
+
+@given(random_2d())
+@settings(max_examples=120, deadline=None)
+def test_integer_points_imply_rationally_nonempty(p):
+    if contains_integer_point(p):
+        assert not is_rationally_empty(p)
+
+
+@given(random_2d())
+@settings(max_examples=120, deadline=None)
+def test_rationally_empty_implies_no_integer_points(p):
+    if is_rationally_empty(p):
+        assert not contains_integer_point(p)

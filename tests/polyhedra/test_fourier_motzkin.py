@@ -1,0 +1,91 @@
+"""Unit tests for Fourier-Motzkin elimination and loop bounds."""
+
+import pytest
+
+from repro.polyhedra import (
+    Halfspace,
+    Polyhedron,
+    box,
+    eliminate_variable,
+    loop_bounds,
+    project_onto_prefix,
+)
+
+
+class TestEliminate:
+    def test_box_projection(self):
+        p = box([0, 0], [3, 7])
+        q = eliminate_variable(p, 1)
+        assert q.dim == 1
+        assert q.contains((0,)) and q.contains((3,))
+        assert not q.contains((4,))
+
+    def test_triangle_shadow(self):
+        # x >= 0, y >= 0, x + y <= 4 projected on x: [0, 4]
+        p = box([0, 0], [10, 10]).with_constraint(Halfspace.of([1, 1], 4))
+        q = eliminate_variable(p, 1)
+        assert q.contains((4,))
+        assert not q.contains((5,))
+
+    def test_out_of_range_var(self):
+        with pytest.raises(ValueError):
+            eliminate_variable(box([0, 0], [1, 1]), 2)
+
+    def test_project_onto_prefix(self):
+        p = box([0, 0, 0], [2, 3, 4])
+        q = project_onto_prefix(p, 1)
+        assert q.dim == 1
+        assert q.contains((2,)) and not q.contains((3,))
+
+    def test_elimination_order_independent_shadow(self):
+        p = box([0, 0, 0], [5, 5, 5]).with_constraint(
+            Halfspace.of([1, 1, 1], 7))
+        a = eliminate_variable(eliminate_variable(p, 2), 1)
+        b = project_onto_prefix(p, 1)
+        for x in range(-1, 8):
+            assert a.contains((x,)) == b.contains((x,))
+
+
+class TestLoopBounds:
+    def test_box_bounds(self):
+        bounds = loop_bounds(box([1, 2], [4, 9]))
+        assert bounds[0].evaluate(()) == (1, 4)
+        assert bounds[1].evaluate((1,)) == (2, 9)
+
+    def test_triangular_domain(self):
+        # 0 <= i <= 5, 0 <= j <= i  (lower-triangular loop)
+        p = Polyhedron([
+            Halfspace.of([1, 0], 5), Halfspace.of([-1, 0], 0),
+            Halfspace.of([0, -1], 0), Halfspace.of([-1, 1], 0),
+        ])
+        bounds = loop_bounds(p)
+        assert bounds[0].evaluate(()) == (0, 5)
+        assert bounds[1].evaluate((3,)) == (0, 3)
+        assert bounds[1].evaluate((0,)) == (0, 0)
+
+    def test_rational_bounds_rounded(self):
+        # 2j <= i means j <= floor(i/2)
+        p = Polyhedron([
+            Halfspace.of([1, 0], 7), Halfspace.of([-1, 0], 0),
+            Halfspace.of([0, -1], 0), Halfspace.of([-1, 2], 0),
+        ])
+        bounds = loop_bounds(p)
+        assert bounds[1].evaluate((5,)) == (0, 2)
+        assert bounds[1].evaluate((4,)) == (0, 2)
+        assert bounds[1].evaluate((1,)) == (0, 0)
+
+    def test_evaluate_wrong_arity(self):
+        bounds = loop_bounds(box([0, 0], [1, 1]))
+        with pytest.raises(ValueError):
+            bounds[1].evaluate(())
+
+    def test_unbounded_raises(self):
+        p = Polyhedron([Halfspace.of([1], 5)])  # no lower bound
+        with pytest.raises(ValueError):
+            loop_bounds(p)[0].evaluate(())
+
+    def test_bounds_reference_outer_only(self):
+        bounds = loop_bounds(box([0, 0, 0], [2, 2, 2]))
+        for k, b in enumerate(bounds):
+            for coeffs, _ in b.lowers + b.uppers:
+                assert len(coeffs) == k

@@ -1,0 +1,83 @@
+"""Unit tests for half-space polyhedra."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.linalg import RatMat
+from repro.polyhedra import Halfspace, Polyhedron, box
+
+
+class TestHalfspace:
+    def test_satisfied(self):
+        c = Halfspace.of([1, 1], 3)
+        assert c.satisfied_by((1, 2))
+        assert not c.satisfied_by((2, 2))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            Halfspace.of([1, 0], 0).satisfied_by((1, 2, 3))
+
+    def test_normalized_scales_to_primitive(self):
+        c = Halfspace.of(["2/3", "4/3"], 2).normalized()
+        assert c.a == (Fraction(1), Fraction(2))
+        assert c.b == Fraction(3)
+
+    def test_normalized_tautology(self):
+        c = Halfspace.of([0, 0], 5).normalized()
+        assert c.is_trivial()
+
+    def test_normalized_infeasible(self):
+        c = Halfspace.of([0, 0], -1).normalized()
+        assert c.is_infeasible_constant()
+
+
+class TestPolyhedron:
+    def test_box_contains(self):
+        p = box([0, 0], [3, 4])
+        assert p.contains((0, 0)) and p.contains((3, 4))
+        assert not p.contains((4, 0)) and not p.contains((-1, 2))
+
+    def test_intersect(self):
+        p = box([0, 0], [5, 5]).intersect(box([3, 3], [9, 9]))
+        assert p.contains((4, 4))
+        assert not p.contains((2, 2))
+
+    def test_with_constraint(self):
+        p = box([0, 0], [5, 5]).with_constraint(Halfspace.of([1, 1], 4))
+        assert p.contains((2, 2))
+        assert not p.contains((3, 3))
+
+    def test_normalized_dedupes(self):
+        c = Halfspace.of([1, 0], 2)
+        p = Polyhedron([c, Halfspace.of([2, 0], 4), c])
+        assert len(p.normalized().constraints) == 1
+
+    def test_obviously_empty(self):
+        p = Polyhedron([Halfspace.of([0, 0], -1)])
+        assert p.is_obviously_empty()
+
+    def test_empty_constraint_list_rejected(self):
+        with pytest.raises(ValueError):
+            Polyhedron([])
+
+    def test_from_system(self):
+        p = Polyhedron.from_system([[1, 0], [-1, 0]], [3, 0])
+        assert p.contains((2, 100))
+        assert not p.contains((4, 0))
+
+    def test_preimage_skew(self):
+        """Points of T(box) pulled back through T^{-1} land in the box."""
+        t_inv = RatMat([[1, 0], [-1, 1]])  # inverse of [[1,0],[1,1]]
+        p = box([0, 0], [3, 3])
+        skewed = p.preimage(t_inv)
+        # y = T x for x=(3,3) is (3,6)
+        assert skewed.contains((3, 6))
+        assert not skewed.contains((3, 7))
+        assert skewed.contains((0, 0))
+
+    def test_preimage_with_shift(self):
+        p = box([0], [10])
+        q = p.preimage(RatMat([[1]]), shift=[5])
+        assert q.contains((5,))
+        assert not q.contains((6,))

@@ -1,0 +1,52 @@
+"""Unit tests for integer point enumeration."""
+
+from repro.polyhedra import (
+    Halfspace,
+    Polyhedron,
+    box,
+    contains_integer_point,
+    count_integer_points,
+    integer_points,
+)
+
+
+class TestEnumeration:
+    def test_box_count(self):
+        assert count_integer_points(box([0, 0], [2, 3])) == 12
+
+    def test_lexicographic_order(self):
+        pts = list(integer_points(box([0, 0], [1, 1])))
+        assert pts == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_simplex_count(self):
+        # x,y >= 0, x + y <= 3: 10 points
+        p = box([0, 0], [5, 5]).with_constraint(Halfspace.of([1, 1], 3))
+        assert count_integer_points(p) == 10
+
+    def test_members_satisfy_constraints(self):
+        p = box([-2, -2], [2, 2]).with_constraint(Halfspace.of([1, -1], 1))
+        for pt in integer_points(p):
+            assert p.contains(pt)
+
+    def test_empty(self):
+        p = box([0], [5]).with_constraint(Halfspace.of([-1], -10))
+        assert not contains_integer_point(p)
+        assert count_integer_points(p) == 0
+
+    def test_thin_slab_no_integer_points(self):
+        """Rational shadow nonempty, integer content empty."""
+        # 1/3 <= x <= 2/3
+        p = Polyhedron([Halfspace.of([3], 2), Halfspace.of([-3], -1)])
+        assert not contains_integer_point(p)
+
+    def test_skewed_region_matches_bruteforce(self):
+        p = box([-3, -3], [3, 3]).with_constraint(
+            Halfspace.of([2, 3], 4)).with_constraint(
+            Halfspace.of([-1, 2], 2))
+        got = set(integer_points(p))
+        want = {
+            (x, y)
+            for x in range(-3, 4) for y in range(-3, 4)
+            if 2 * x + 3 * y <= 4 and -x + 2 * y <= 2
+        }
+        assert got == want

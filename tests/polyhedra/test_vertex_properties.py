@@ -1,0 +1,80 @@
+"""Property-based tests for vertex enumeration."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedra import (
+    Halfspace,
+    box,
+    bounding_box,
+    enumerate_vertices,
+    integer_points,
+)
+
+
+@st.composite
+def cut_boxes(draw):
+    lo = (draw(st.integers(-3, 0)), draw(st.integers(-3, 0)))
+    hi = (lo[0] + draw(st.integers(1, 6)), lo[1] + draw(st.integers(1, 6)))
+    p = box(lo, hi)
+    for _ in range(draw(st.integers(0, 2))):
+        a = [draw(st.integers(-2, 2)), draw(st.integers(-2, 2))]
+        if a == [0, 0]:
+            continue
+        # keep a corner feasible so the polyhedron stays nonempty
+        b = max(a[0] * lo[0] + a[1] * lo[1],
+                a[0] * lo[0] + a[1] * hi[1]) + draw(st.integers(0, 4))
+        p = p.with_constraint(Halfspace.of(a, b))
+    return p
+
+
+@given(cut_boxes())
+@settings(max_examples=80, deadline=None)
+def test_vertices_are_feasible(p):
+    for v in enumerate_vertices(p):
+        assert p.contains(v)
+
+
+@given(cut_boxes())
+@settings(max_examples=80, deadline=None)
+def test_integer_points_inside_vertex_hull_box(p):
+    """Every integer point lies within the vertex bounding box."""
+    verts = enumerate_vertices(p)
+    if not verts:
+        return
+    lo = [min(v[k] for v in verts) for k in range(2)]
+    hi = [max(v[k] for v in verts) for k in range(2)]
+    for pt in integer_points(p):
+        for k in range(2):
+            assert lo[k] <= pt[k] <= hi[k]
+
+
+@given(cut_boxes())
+@settings(max_examples=60, deadline=None)
+def test_bounding_box_tight_for_integer_points(p):
+    verts = enumerate_vertices(p)
+    if not verts:
+        return
+    blo, bhi = bounding_box(p)
+    pts = list(integer_points(p))
+    for pt in pts:
+        for k in range(2):
+            assert blo[k] <= pt[k] <= bhi[k]
+
+
+@given(cut_boxes())
+@settings(max_examples=60, deadline=None)
+def test_extreme_in_every_direction(p):
+    """For any direction, some vertex maximizes it over the integer
+    points (convexity: vertices dominate)."""
+    verts = enumerate_vertices(p)
+    pts = list(integer_points(p))
+    if not verts or not pts:
+        return
+    for d in [(1, 0), (0, 1), (1, 1), (-1, 2)]:
+        vmax = max(sum(Fraction(a) * b for a, b in zip(v, d))
+                   for v in verts)
+        pmax = max(sum(a * b for a, b in zip(pt, d)) for pt in pts)
+        assert vmax >= pmax

@@ -1,0 +1,69 @@
+"""Unit tests for vertex enumeration and bounding boxes."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.linalg import RatMat
+from repro.polyhedra import (
+    Halfspace,
+    bounding_box,
+    box,
+    enumerate_vertices,
+    image_bounding_box,
+)
+
+
+class TestVertices:
+    def test_unit_square(self):
+        verts = set(enumerate_vertices(box([0, 0], [1, 1])))
+        assert verts == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_triangle(self):
+        p = box([0, 0], [10, 10]).with_constraint(Halfspace.of([1, 1], 2))
+        verts = set(enumerate_vertices(p))
+        assert (Fraction(0), Fraction(0)) in verts
+        assert (Fraction(2), Fraction(0)) in verts
+        assert (Fraction(0), Fraction(2)) in verts
+        assert len(verts) == 3
+
+    def test_redundant_constraints_merged(self):
+        p = box([0, 0], [1, 1]).with_constraint(Halfspace.of([1, 1], 2))
+        assert len(enumerate_vertices(p)) == 4
+
+    def test_3d_cube(self):
+        assert len(enumerate_vertices(box([0, 0, 0], [1, 1, 1]))) == 8
+
+
+class TestBoundingBox:
+    def test_box_is_its_own_bbox(self):
+        assert bounding_box(box([1, 2], [5, 9])) == ((1, 2), (5, 9))
+
+    def test_fractional_vertices_rounded_inward(self):
+        # vertices at x = 1/2 and 7/2: integer bbox [1, 3]
+        p = Halfspace.of([2], 7)
+        q = Halfspace.of([-2], -1)
+        from repro.polyhedra import Polyhedron
+        assert bounding_box(Polyhedron([p, q])) == ((1,), (3,))
+
+    def test_empty_raises(self):
+        from repro.polyhedra import Polyhedron
+        p = Polyhedron([Halfspace.of([1], -1), Halfspace.of([-1], -1)])
+        with pytest.raises(ValueError):
+            bounding_box(p)
+
+
+class TestImageBoundingBox:
+    def test_tile_space_extent(self):
+        """Image of a box through a tiling matrix H."""
+        from repro.linalg import from_rows
+        h = from_rows([["1/2", 0], [0, "1/3"]])
+        lo, hi = image_bounding_box(box([0, 0], [9, 9]), h)
+        assert lo == (0, 0)
+        assert hi == (Fraction(9, 2), Fraction(3))
+
+    def test_skew_image(self):
+        t = RatMat([[1, 0], [1, 1]])
+        lo, hi = image_bounding_box(box([0, 0], [2, 3]), t)
+        assert lo == (0, 0)
+        assert hi == (2, 5)

@@ -1,0 +1,53 @@
+"""Unit tests for Chrome-tracing export."""
+
+import json
+
+from repro.runtime.trace import EventTrace, to_chrome_trace
+
+
+def _trace():
+    t = EventTrace()
+    t.record("compute", rank=0, start=0.0, end=0.5)
+    t.record("send", rank=0, start=0.5, end=0.6, peer=1, tag=3, nelems=7)
+    t.record("recv", rank=1, start=0.0, end=0.6, peer=0, tag=3, nelems=7)
+    return t
+
+
+class TestChromeTrace:
+    def test_one_event_per_record(self):
+        evs = to_chrome_trace(_trace())
+        assert len(evs) == 3
+
+    def test_complete_event_format(self):
+        evs = to_chrome_trace(_trace())
+        for e in evs:
+            assert e["ph"] == "X"
+            assert e["dur"] >= 0
+            assert isinstance(e["tid"], int)
+
+    def test_microsecond_scaling(self):
+        evs = to_chrome_trace(_trace())
+        compute = next(e for e in evs if e["cat"] == "compute")
+        assert compute["ts"] == 0.0
+        assert compute["dur"] == 0.5e6
+
+    def test_peer_and_tag_in_args(self):
+        evs = to_chrome_trace(_trace())
+        send = next(e for e in evs if e["cat"] == "send")
+        assert send["args"] == {"nelems": 7, "peer": 1, "tag": 3}
+
+    def test_json_serializable(self):
+        text = json.dumps({"traceEvents": to_chrome_trace(_trace())})
+        assert "traceEvents" in text
+
+    def test_real_run_exports(self, sor_small):
+        from repro.apps import sor
+        from repro.runtime import (ClusterSpec, DistributedRun, EventTrace,
+                                   TiledProgram)
+        trace = EventTrace()
+        prog = TiledProgram(sor_small.nest, sor.h_rectangular(2, 3, 4),
+                            mapping_dim=2)
+        DistributedRun(prog, ClusterSpec(), trace=trace).simulate()
+        evs = to_chrome_trace(trace)
+        assert len(evs) == len(trace.events)
+        json.dumps(evs)

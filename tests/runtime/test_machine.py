@@ -1,0 +1,39 @@
+"""Unit tests for the cluster cost model."""
+
+from repro.runtime import ClusterSpec, FAST_ETHERNET_CLUSTER
+
+
+class TestCostModel:
+    def test_transfer_time_hockney(self):
+        spec = ClusterSpec(net_latency=1e-4, net_bandwidth=1e7)
+        assert spec.transfer_time(0) == 1e-4
+        assert abs(spec.transfer_time(10**7) - (1e-4 + 1.0)) < 1e-12
+
+    def test_message_time_uses_element_size(self):
+        spec = ClusterSpec(net_latency=0.0, net_bandwidth=8.0,
+                           bytes_per_element=8)
+        assert abs(spec.message_time(2) - 2.0) < 1e-12
+
+    def test_compute_time_linear(self):
+        spec = ClusterSpec(time_per_iteration=1e-6)
+        assert abs(spec.compute_time(1000) - 1e-3) < 1e-15
+
+    def test_pack_time(self):
+        spec = ClusterSpec(time_per_packed_element=1e-8)
+        assert abs(spec.pack_time(100) - 1e-6) < 1e-15
+
+    def test_with_overlap(self):
+        spec = FAST_ETHERNET_CLUSTER
+        assert not spec.overlap
+        o = spec.with_overlap()
+        assert o.overlap
+        assert o.net_latency == spec.net_latency
+
+    def test_default_is_16_nodes(self):
+        assert FAST_ETHERNET_CLUSTER.nodes == 16
+
+    def test_frozen(self):
+        import dataclasses
+        import pytest
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            FAST_ETHERNET_CLUSTER.nodes = 4

@@ -1,0 +1,69 @@
+"""Unit tests for utilization metrics."""
+
+import pytest
+
+from repro.apps import sor
+from repro.runtime import ClusterSpec, DistributedRun, TiledProgram
+from repro.runtime.metrics import (
+    RankMetrics,
+    format_metrics,
+    metrics_from_stats,
+)
+
+
+@pytest.fixture(scope="module")
+def run_metrics():
+    app = sor.app(6, 8)
+    prog = TiledProgram(app.nest, sor.h_nonrectangular(2, 3, 4),
+                        mapping_dim=2)
+    stats = DistributedRun(prog, ClusterSpec()).simulate()
+    return metrics_from_stats(stats), stats
+
+
+class TestAccounting:
+    def test_one_row_per_rank(self, run_metrics):
+        m, stats = run_metrics
+        assert len(m.ranks) == len(stats.clocks)
+
+    def test_components_cover_makespan(self, run_metrics):
+        m, _ = run_metrics
+        for r in m.ranks:
+            assert r.compute + r.comm + r.idle == pytest.approx(
+                m.makespan, abs=1e-12)
+
+    def test_nonnegative(self, run_metrics):
+        m, _ = run_metrics
+        for r in m.ranks:
+            assert r.compute >= 0 and r.comm >= 0 and r.idle >= 0
+
+    def test_efficiency_in_unit_interval(self, run_metrics):
+        m, _ = run_metrics
+        assert 0 < m.parallel_efficiency <= 1
+
+    def test_efficiency_matches_stats(self, run_metrics):
+        m, stats = run_metrics
+        assert m.parallel_efficiency == pytest.approx(stats.efficiency())
+
+    def test_imbalance_nonnegative(self, run_metrics):
+        m, _ = run_metrics
+        assert m.load_imbalance >= 0
+
+    def test_comm_fraction_bounded(self, run_metrics):
+        m, _ = run_metrics
+        assert 0 <= m.comm_fraction <= 1
+
+
+class TestFormat:
+    def test_contains_summary_line(self, run_metrics):
+        m, _ = run_metrics
+        text = format_metrics(m)
+        assert "efficiency" in text and "imbalance" in text
+
+    def test_top_truncates(self, run_metrics):
+        m, _ = run_metrics
+        short = format_metrics(m, top=2)
+        assert len(short.splitlines()) == 2 + 2
+
+    def test_busy_fraction(self):
+        r = RankMetrics(rank=0, compute=2.0, comm=1.0, idle=1.0)
+        assert r.busy_fraction == pytest.approx(0.5)

@@ -1,0 +1,44 @@
+"""Unit tests for event traces and ASCII Gantt rendering."""
+
+from repro.runtime.trace import EventTrace, ascii_gantt
+
+
+def _sample_trace():
+    t = EventTrace()
+    t.record("compute", rank=0, start=0.0, end=1.0)
+    t.record("send", rank=0, start=1.0, end=1.2, peer=1, tag=0, nelems=5)
+    t.record("recv", rank=1, start=0.0, end=1.2, peer=0, tag=0, nelems=5)
+    t.record("compute", rank=1, start=1.2, end=2.0)
+    return t
+
+
+class TestTrace:
+    def test_by_rank_sorted(self):
+        t = _sample_trace()
+        by = t.by_rank()
+        assert set(by) == {0, 1}
+        for events in by.values():
+            starts = [e.start for e in events]
+            assert starts == sorted(starts)
+
+    def test_message_count(self):
+        assert _sample_trace().message_count() == 1
+
+
+class TestGantt:
+    def test_rows_per_rank(self):
+        rows = ascii_gantt(_sample_trace(), width=40)
+        assert len(rows) == 2
+        assert all(len(r.cells) == 40 for r in rows)
+
+    def test_compute_marks_present(self):
+        rows = ascii_gantt(_sample_trace(), width=40)
+        assert "#" in rows[0].cells
+        assert "#" in rows[1].cells
+
+    def test_recv_wait_visible(self):
+        rows = ascii_gantt(_sample_trace(), width=40)
+        assert "<" in rows[1].cells
+
+    def test_empty_trace(self):
+        assert ascii_gantt(EventTrace()) == []

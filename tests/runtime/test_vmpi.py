@@ -1,0 +1,182 @@
+"""Unit tests for the virtual MPI discrete-event engine."""
+
+import pytest
+
+from repro.runtime import (
+    ClusterSpec,
+    Compute,
+    DeadlockError,
+    EventTrace,
+    Recv,
+    Send,
+    VirtualMPI,
+)
+
+SPEC = ClusterSpec(net_latency=1e-3, net_bandwidth=8e6,
+                   bytes_per_element=8, time_per_iteration=1e-6)
+
+
+def run(programs, spec=SPEC, trace=None):
+    return VirtualMPI(spec, programs, trace=trace).run()
+
+
+class TestBasics:
+    def test_compute_advances_clock(self):
+        def p(api):
+            yield Compute(0.5)
+        stats = run({0: p})
+        assert stats.clocks[0] == 0.5
+        assert stats.makespan == 0.5
+
+    def test_send_recv_pair(self):
+        def sender(api):
+            yield Compute(1.0)
+            yield Send(dest=1, tag=0, nelems=1000)
+
+        def receiver(api):
+            payload, n = yield Recv(source=0, tag=0)
+            assert n == 1000
+            yield Compute(0.1)
+
+        stats = run({0: sender, 1: receiver})
+        # message leaves at 1.0 + (1ms + 8000B/8MBps = 2ms)
+        assert abs(stats.clocks[0] - 1.002) < 1e-9
+        # receiver waits for arrival then computes
+        assert abs(stats.clocks[1] - 1.102) < 1e-9
+
+    def test_receiver_not_delayed_if_late(self):
+        def sender(api):
+            yield Send(dest=1, tag=0, nelems=0)
+
+        def receiver(api):
+            yield Compute(5.0)
+            yield Recv(source=0, tag=0)
+
+        stats = run({0: sender, 1: receiver})
+        assert stats.clocks[1] == 5.0  # message already arrived
+
+    def test_payload_passthrough(self):
+        def sender(api):
+            yield Send(dest=1, tag=7, nelems=3, payload=[1, 2, 3])
+
+        collected = []
+
+        def receiver(api):
+            payload, n = yield Recv(source=0, tag=7)
+            collected.append((payload, n))
+
+        run({0: sender, 1: receiver})
+        assert collected == [([1, 2, 3], 3)]
+
+    def test_fifo_per_tag(self):
+        order = []
+
+        def sender(api):
+            yield Send(dest=1, tag=0, nelems=1, payload="a")
+            yield Send(dest=1, tag=0, nelems=1, payload="b")
+
+        def receiver(api):
+            p1, _ = yield Recv(source=0, tag=0)
+            p2, _ = yield Recv(source=0, tag=0)
+            order.extend([p1, p2])
+
+        run({0: sender, 1: receiver})
+        assert order == ["a", "b"]
+
+    def test_tags_demultiplex(self):
+        got = {}
+
+        def sender(api):
+            yield Send(dest=1, tag=2, nelems=1, payload="two")
+            yield Send(dest=1, tag=1, nelems=1, payload="one")
+
+        def receiver(api):
+            p, _ = yield Recv(source=0, tag=1)
+            got["first"] = p
+            p, _ = yield Recv(source=0, tag=2)
+            got["second"] = p
+
+        run({0: sender, 1: receiver})
+        assert got == {"first": "one", "second": "two"}
+
+
+class TestDeadlock:
+    def test_recv_without_send(self):
+        def p(api):
+            yield Recv(source=1, tag=0)
+
+        def q(api):
+            yield Compute(1.0)
+
+        with pytest.raises(DeadlockError):
+            run({0: p, 1: q})
+
+    def test_mutual_recv(self):
+        def p(api):
+            yield Recv(source=1, tag=0)
+
+        def q(api):
+            yield Recv(source=0, tag=0)
+
+        with pytest.raises(DeadlockError):
+            run({0: p, 1: q})
+
+
+class TestOverlap:
+    def test_overlap_frees_sender_early(self):
+        spec = ClusterSpec(net_latency=1e-3, net_bandwidth=8e6,
+                           overlap=True)
+
+        def sender(api):
+            yield Send(dest=1, tag=0, nelems=10000)
+            yield Compute(0.001)
+
+        def receiver(api):
+            yield Recv(source=0, tag=0)
+
+        stats = run({0: sender, 1: receiver}, spec=spec)
+        # sender pays only latency, then computes
+        assert abs(stats.clocks[0] - 0.002) < 1e-9
+        # receiver still waits for the full transfer (1ms + 10ms)
+        assert abs(stats.clocks[1] - 0.011) < 1e-9
+
+
+class TestStats:
+    def test_counts(self):
+        def sender(api):
+            yield Send(dest=1, tag=0, nelems=42)
+
+        def receiver(api):
+            yield Recv(source=0, tag=0)
+
+        stats = run({0: sender, 1: receiver})
+        assert stats.total_messages == 1
+        assert stats.total_elements == 42
+
+    def test_efficiency_bounds(self):
+        def p(api):
+            yield Compute(1.0)
+        stats = run({0: p, 1: p})
+        assert 0.99 < stats.efficiency() <= 1.0
+
+    def test_trace_records_events(self):
+        trace = EventTrace()
+
+        def sender(api):
+            yield Compute(0.1)
+            yield Send(dest=1, tag=0, nelems=10)
+
+        def receiver(api):
+            yield Recv(source=0, tag=0)
+
+        run({0: sender, 1: receiver}, trace=trace)
+        kinds = {e.kind for e in trace.events}
+        assert kinds == {"compute", "send", "recv"}
+        assert trace.message_count() == 1
+
+    def test_bad_yield_type(self):
+        def p(api):
+            yield "nonsense"
+
+        with pytest.raises(TypeError):
+            run({0: p})

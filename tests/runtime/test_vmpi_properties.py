@@ -1,0 +1,126 @@
+"""Property-based tests of the discrete-event engine.
+
+Random but deadlock-free communication programs (a rank only receives
+from lower ranks, sends to higher ranks — a DAG by construction) must
+satisfy the engine's conservation and monotonicity laws under any
+protocol mode.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import ClusterSpec, Compute, Recv, Send, VirtualMPI
+
+
+@st.composite
+def dag_programs(draw):
+    """A list per rank of (compute_ms, sends-to-higher-ranks) rounds."""
+    n_ranks = draw(st.integers(2, 4))
+    rounds = draw(st.integers(1, 3))
+    plan = {}
+    sends = []  # (src, dst, round, nelems)
+    for r in range(n_ranks):
+        rows = []
+        for k in range(rounds):
+            comp = draw(st.floats(0.0, 2e-3, allow_nan=False))
+            outs = []
+            for dst in range(r + 1, n_ranks):
+                if draw(st.booleans()):
+                    nelems = draw(st.integers(1, 500))
+                    outs.append((dst, nelems))
+                    sends.append((r, dst, k, nelems))
+            rows.append((comp, outs))
+        plan[r] = rows
+    return n_ranks, plan, sends
+
+
+def _build(plan, sends, rank):
+    """Rank program: per round, recv everything addressed to it from
+    that round (in sender order), compute, then send."""
+    incoming = {}
+    for src, dst, rnd, nelems in sends:
+        incoming.setdefault((dst, rnd), []).append((src, nelems))
+
+    def node(api):
+        for rnd, (comp, outs) in enumerate(plan[rank]):
+            for src, nelems in sorted(incoming.get((rank, rnd), [])):
+                payload, got = yield Recv(source=src, tag=rnd)
+                assert got == nelems
+            yield Compute(comp)
+            for dst, nelems in outs:
+                yield Send(dest=dst, tag=rnd, nelems=nelems)
+    return node
+
+
+SPECS = [
+    ClusterSpec(),
+    ClusterSpec(overlap=True),
+    ClusterSpec(rendezvous_threshold=0),
+    ClusterSpec(rendezvous_threshold=1000),
+]
+
+
+@given(dag_programs(), st.integers(0, 3))
+@settings(max_examples=60, deadline=None)
+def test_conservation_and_completion(case, spec_idx):
+    n_ranks, plan, sends = case
+    spec = SPECS[spec_idx]
+    engine = VirtualMPI(spec, {
+        r: _build(plan, sends, r) for r in range(n_ranks)
+    })
+    stats = engine.run()
+    assert stats.total_messages == len(sends)
+    assert stats.total_elements == sum(s[3] for s in sends)
+    assert stats.makespan == max(stats.clocks.values())
+    for r in range(n_ranks):
+        # a rank's clock covers at least its own compute time
+        own_compute = sum(c for c, _ in plan[r])
+        assert stats.clocks[r] >= own_compute - 1e-12
+
+
+@given(dag_programs())
+@settings(max_examples=40, deadline=None)
+def test_determinism(case):
+    n_ranks, plan, sends = case
+    spec = ClusterSpec()
+
+    def run_once():
+        return VirtualMPI(spec, {
+            r: _build(plan, sends, r) for r in range(n_ranks)
+        }).run()
+
+    a, b = run_once(), run_once()
+    assert a.clocks == b.clocks
+    assert a.makespan == b.makespan
+
+
+@given(dag_programs())
+@settings(max_examples=40, deadline=None)
+def test_protocol_monotonicity(case):
+    """overlap <= eager <= all-rendezvous in makespan."""
+    n_ranks, plan, sends = case
+
+    def run_with(spec):
+        return VirtualMPI(spec, {
+            r: _build(plan, sends, r) for r in range(n_ranks)
+        }).run().makespan
+
+    t_overlap = run_with(ClusterSpec(overlap=True))
+    t_eager = run_with(ClusterSpec())
+    t_rdv = run_with(ClusterSpec(rendezvous_threshold=0))
+    assert t_overlap <= t_eager + 1e-12
+    assert t_eager <= t_rdv + 1e-12
+
+
+@given(dag_programs())
+@settings(max_examples=30, deadline=None)
+def test_faster_network_never_hurts(case):
+    n_ranks, plan, sends = case
+
+    def run_with(bw):
+        spec = ClusterSpec(net_bandwidth=bw)
+        return VirtualMPI(spec, {
+            r: _build(plan, sends, r) for r in range(n_ranks)
+        }).run().makespan
+
+    assert run_with(1e9) <= run_with(1e6) + 1e-12

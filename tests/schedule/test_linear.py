@@ -1,0 +1,90 @@
+"""Unit tests for the linear schedule Pi = [1,...,1]."""
+
+import pytest
+
+from repro.polyhedra import box
+from repro.schedule import LinearSchedule, last_tile_time, schedule_length
+from repro.tiling import TilingTransformation
+from repro.tiling.shapes import rectangular_tiling
+
+
+@pytest.fixture(scope="module")
+def tiling():
+    return TilingTransformation(rectangular_tiling([2, 3]),
+                                box([0, 0], [5, 8]))
+
+
+class TestSchedule:
+    def test_step_is_coordinate_sum(self, tiling):
+        s = LinearSchedule(tiling)
+        assert s.step_of((2, 1)) == 3
+
+    def test_wavefronts_partition_tiles(self, tiling):
+        s = LinearSchedule(tiling)
+        steps = s.steps()
+        total = sum(len(v) for v in steps.values())
+        assert total == len(tiling.enumerate_tiles())
+
+    def test_length(self, tiling):
+        # tiles: 3 x 3 grid; steps 0..4
+        assert schedule_length(tiling) == 5
+
+    def test_max_parallelism(self, tiling):
+        s = LinearSchedule(tiling)
+        assert s.max_parallelism() == 3  # anti-diagonal of a 3x3 grid
+
+    def test_dependences_respect_schedule(self, tiling):
+        """Every tile dependence advances the wavefront: Pi d^S >= 1."""
+        ds = tiling.tile_dependences([(1, 0), (0, 1), (1, 1)])
+        for d in ds:
+            assert sum(d) >= 1
+
+
+class TestLastTileTime:
+    def test_rectangular(self):
+        h = rectangular_tiling([2, 3])
+        assert last_tile_time(h, (5, 8)) == 5 // 2 + 8 // 3
+
+    def test_paper_sor_identity(self):
+        """§4.1: t_nr = t_r - M/z for the skewed SOR last point."""
+        from repro.apps import sor
+        m_sz, n_sz, x, y, z = 100, 200, 25, 75, 10
+        j_max = (m_sz, m_sz + n_sz, 2 * m_sz + n_sz)
+        t_r = last_tile_time(sor.h_rectangular(x, y, z), j_max)
+        t_nr = last_tile_time(sor.h_nonrectangular(x, y, z), j_max)
+        assert t_nr == t_r - m_sz // z
+
+    def test_paper_jacobi_identity(self):
+        """§4.2: t_nr = t_r - (T+I)/(2x)."""
+        from repro.apps import jacobi
+        t_sz, i_sz, j_sz, x, y, z = 50, 100, 100, 10, 30, 30
+        j_max = (t_sz, t_sz + i_sz, t_sz + j_sz)
+        t_r = last_tile_time(jacobi.h_rectangular(x, y, z), j_max)
+        t_nr = last_tile_time(jacobi.h_nonrectangular(x, y, z), j_max)
+        gap = (t_sz + i_sz) / (2 * x)
+        assert abs((t_r - t_nr) - gap) <= 1  # floor rounding slack
+
+    def test_paper_adi_identities(self):
+        """§4.3: t_nr1 = t_r - N/y, t_nr2 = t_r - N/z,
+        t_nr3 = t_r - N/y - N/z."""
+        from repro.apps import adi
+        t_sz, n_sz, x, y, z = 100, 256, 10, 32, 32
+        j_max = (t_sz, n_sz, n_sz)
+        t_r = last_tile_time(adi.h_rectangular(x, y, z), j_max)
+        t_1 = last_tile_time(adi.h_nr1(x, y, z), j_max)
+        t_2 = last_tile_time(adi.h_nr2(x, y, z), j_max)
+        t_3 = last_tile_time(adi.h_nr3(x, y, z), j_max)
+        assert abs((t_r - t_1) - n_sz / y) <= 1
+        assert abs((t_r - t_2) - n_sz / z) <= 1
+        assert abs((t_r - t_3) - (n_sz / y + n_sz / z)) <= 1
+        assert t_3 < t_1 <= t_r and t_3 < t_2 <= t_r
+
+
+class TestMakespanFormulaTerms:
+    def test_exact_rows(self):
+        from fractions import Fraction
+        from repro.apps import sor
+        from repro.schedule import makespan_formula_terms
+        terms = makespan_formula_terms(sor.h_rectangular(25, 75, 10),
+                                       (100, 300, 400))
+        assert terms == (Fraction(4), Fraction(4), Fraction(40))

@@ -1,0 +1,75 @@
+"""Unit tests for the Hodzic-Shang shape-optimality analysis."""
+
+import pytest
+
+from repro.apps import adi
+from repro.schedule import analyze_shape, rank_shapes, row_cone_position
+
+ADI_DEPS = [(1, 0, 0), (1, 1, 0), (1, 0, 1)]
+J_MAX = (64, 128, 128)
+
+
+class TestRowPosition:
+    def test_interior(self):
+        assert row_cone_position((1, 1, 1), ADI_DEPS) == "interior"
+
+    def test_boundary(self):
+        # (0,1,0) is orthogonal to (1,0,0) and (1,0,1)
+        assert row_cone_position((0, 1, 0), ADI_DEPS) == "boundary"
+
+    def test_outside(self):
+        assert row_cone_position((-1, 0, 0), ADI_DEPS) == "outside"
+
+    def test_fraction_rows(self):
+        from fractions import Fraction
+        row = (Fraction(1, 4), Fraction(-1, 8), Fraction(-1, 8))
+        assert row_cone_position(row, ADI_DEPS) in ("boundary", "interior")
+
+
+class TestAnalysis:
+    def _candidates(self, x=8, y=16, z=16):
+        return [
+            ("rect", adi.h_rectangular(x, y, z)),
+            ("nr1", adi.h_nr1(x, y, z)),
+            ("nr2", adi.h_nr2(x, y, z)),
+            ("nr3", adi.h_nr3(x, y, z)),
+        ]
+
+    def test_rect_first_row_interior(self):
+        a = analyze_shape("rect", adi.h_rectangular(8, 16, 16),
+                          ADI_DEPS, J_MAX)
+        assert a.row_positions[0] == "interior"
+        assert a.interior_rows == 1
+
+    def test_nr3_all_rows_boundary_when_cubic(self):
+        """With x = y = z the nr3 first row is parallel to the extreme
+        ray (1,-1,-1): every row sits on the cone boundary."""
+        a = analyze_shape("nr3", adi.h_nr3(16, 16, 16), ADI_DEPS, J_MAX)
+        assert a.fully_boundary
+
+    def test_nr3_interior_when_x_smaller(self):
+        """Unequal factors tilt the first row into the interior —
+        the shape is then cone-*derived* but not boundary-aligned."""
+        a = analyze_shape("nr3", adi.h_nr3(8, 16, 16), ADI_DEPS, J_MAX)
+        assert a.row_positions[0] == "interior"
+
+    def test_ranking_matches_paper_ordering(self):
+        ranked = rank_shapes(self._candidates(16, 16, 16), ADI_DEPS,
+                             J_MAX)
+        labels = [a.label for a in ranked]
+        assert labels[0] == "nr3"
+        assert labels[-1] == "rect"
+
+    def test_theorem_shape(self):
+        """[10]: among equal-volume cubic candidates the winner has no
+        interior rows (boundary-aligned shapes are optimal)."""
+        ranked = rank_shapes(self._candidates(16, 16, 16), ADI_DEPS,
+                             J_MAX)
+        best = ranked[0]
+        assert best.interior_rows == 0
+
+    def test_completion_steps_ordered(self):
+        ranked = rank_shapes(self._candidates(16, 16, 16), ADI_DEPS,
+                             J_MAX)
+        steps = [a.completion_step for a in ranked]
+        assert steps == sorted(steps)

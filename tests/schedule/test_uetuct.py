@@ -1,0 +1,62 @@
+"""Unit tests for the UET-UCT mapping analysis."""
+
+import pytest
+
+from repro.polyhedra import box
+from repro.schedule import best_mapping_dim, evaluate_mappings
+from repro.tiling import TilingTransformation
+from repro.tiling.shapes import rectangular_tiling
+
+
+@pytest.fixture(scope="module")
+def long_dim_tiling():
+    """Tile space 2 x 2 x 8: dimension 2 is clearly the longest."""
+    h = rectangular_tiling([3, 3, 3])
+    return TilingTransformation(h, box([0, 0, 0], [5, 5, 23]))
+
+DEPS = [(1, 0, 0), (0, 1, 0), (0, 0, 1)]
+
+
+class TestEvaluate:
+    def test_one_eval_per_dim(self, long_dim_tiling):
+        evals = evaluate_mappings(long_dim_tiling, DEPS)
+        assert [e.mapping_dim for e in evals] == [0, 1, 2]
+
+    def test_processor_counts(self, long_dim_tiling):
+        evals = evaluate_mappings(long_dim_tiling, DEPS)
+        assert evals[2].processors == 4     # 2 x 2
+        assert evals[0].processors == 16    # 2 x 8
+
+    def test_chain_lengths(self, long_dim_tiling):
+        evals = evaluate_mappings(long_dim_tiling, DEPS)
+        assert evals[2].chain_tiles_max == 8
+        assert evals[0].chain_tiles_max == 2
+
+    def test_makespan_positive(self, long_dim_tiling):
+        for e in evaluate_mappings(long_dim_tiling, DEPS):
+            assert e.makespan_steps >= 1
+
+
+class TestOptimality:
+    def test_longest_dimension_wins_at_ratio_one(self, long_dim_tiling):
+        """Ref [3]: collapse the dimension with the most tiles."""
+        assert best_mapping_dim(long_dim_tiling, DEPS, comm_cost=1.0) == 2
+
+    def test_free_communication_flattens_choice(self, long_dim_tiling):
+        """With comm_cost = 0 every mapping has the same critical path,
+        so the tie-break (longest dimension) still picks dim 2."""
+        evals = evaluate_mappings(long_dim_tiling, DEPS, comm_cost=0.0)
+        assert len({e.makespan_steps for e in evals}) == 1
+        assert best_mapping_dim(long_dim_tiling, DEPS, 0.0) == 2
+
+    def test_collapsed_makespan_beats_bad_choice(self, long_dim_tiling):
+        evals = evaluate_mappings(long_dim_tiling, DEPS, comm_cost=1.0)
+        best = min(e.makespan_steps for e in evals)
+        assert evals[2].makespan_steps == best
+
+    def test_agrees_with_distribution_default(self, long_dim_tiling):
+        """ComputationDistribution's longest-dim default matches the
+        UET-UCT optimum on the paper's workloads."""
+        from repro.distribution import ComputationDistribution
+        dist = ComputationDistribution(long_dim_tiling)
+        assert dist.m == best_mapping_dim(long_dim_tiling, DEPS)

@@ -1,0 +1,94 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_sor_info(self, capsys):
+        rc = main(["info", "--app", "sor", "-s", "6", "8",
+                   "-t", "2", "3", "4", "--shape", "nonrect"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "CC vector" in out
+        assert "tile volume     : 24" in out
+
+    def test_wrong_size_count(self):
+        with pytest.raises(SystemExit):
+            main(["info", "--app", "sor", "-s", "6",
+                  "-t", "2", "3", "4"])
+
+    def test_unknown_shape(self):
+        with pytest.raises(SystemExit):
+            main(["info", "--app", "sor", "-s", "6", "8",
+                  "-t", "2", "3", "4", "--shape", "nr3"])
+
+
+class TestCodegen:
+    def test_mpi_kind(self, capsys):
+        rc = main(["codegen", "--app", "adi", "-s", "6", "8",
+                   "-t", "2", "3", "3", "--shape", "nr3", "--kind", "mpi"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "MPI_Send" in out
+
+    def test_sequential_kind(self, capsys):
+        rc = main(["codegen", "--app", "jacobi", "-s", "4", "6", "6",
+                   "-t", "2", "4", "3", "--shape", "nonrect",
+                   "--kind", "sequential"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "for (long jS0" in out
+
+    def test_python_kind_is_loadable(self, capsys):
+        rc = main(["codegen", "--app", "sor", "-s", "6", "8",
+                   "-t", "2", "3", "4", "--shape", "rect",
+                   "--kind", "python"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        from repro.codegen import load_generated_module
+        mod = load_generated_module(out)
+        assert hasattr(mod, "SCHEDULES")
+
+
+class TestSimulate:
+    def test_prints_speedup(self, capsys):
+        rc = main(["simulate", "--app", "sor", "-s", "6", "8",
+                   "-t", "2", "3", "4", "--shape", "nonrect",
+                   "--ranks", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "speedup" in out
+        assert "efficiency" in out
+
+    def test_overlap_flag(self, capsys):
+        rc = main(["simulate", "--app", "sor", "-s", "6", "8",
+                   "-t", "2", "3", "4", "--shape", "nonrect",
+                   "--overlap"])
+        assert rc == 0
+
+
+class TestVerify:
+    def test_verified_exit_zero(self, capsys):
+        rc = main(["verify", "--app", "adi", "-s", "4", "5",
+                   "-t", "2", "3", "3", "--shape", "nr3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "VERIFIED" in out
+        assert "array X" in out and "array B" in out
+
+    def test_sor_nonrect(self, capsys):
+        rc = main(["verify", "--app", "sor", "-s", "4", "6",
+                   "-t", "2", "3", "4", "--shape", "nonrect"])
+        assert rc == 0
+
+
+class TestFigure:
+    def test_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "nonsense"])
+
+    def test_rejects_non_figure_attribute(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "FigureResult"])

@@ -1,0 +1,66 @@
+"""Unit tests: tiling cones of the paper's three dependence sets."""
+
+import pytest
+
+from repro.tiling import in_tiling_cone, tiling_cone_rays
+
+SOR_DEPS = [(1, 1, 2), (0, 1, 0), (1, 0, 2), (1, 1, 1), (0, 0, 1)]
+JACOBI_DEPS = [(1, 1, 1), (1, 2, 1), (1, 0, 1), (1, 1, 2), (1, 1, 0)]
+ADI_DEPS = [(1, 0, 0), (1, 1, 0), (1, 0, 1)]
+
+
+class TestPaperCones:
+    def test_sor_cone(self):
+        """Paper §4.1: C rows (1,0,0), (0,1,0), (-1,0,1), (-2,1,1)."""
+        rays = set(tiling_cone_rays(SOR_DEPS))
+        assert rays == {(1, 0, 0), (0, 1, 0), (-1, 0, 1), (-2, 1, 1)}
+
+    def test_adi_cone(self):
+        """Paper §4.3: C rows (1,-1,-1), (0,1,0), (0,0,1)."""
+        rays = set(tiling_cone_rays(ADI_DEPS))
+        assert rays == {(1, -1, -1), (0, 1, 0), (0, 0, 1)}
+
+    def test_jacobi_cone(self):
+        rays = set(tiling_cone_rays(JACOBI_DEPS))
+        assert rays == {(-1, 1, 1), (1, -1, 1), (1, 1, -1), (3, -1, -1)}
+
+    def test_rays_are_in_cone(self):
+        for deps in (SOR_DEPS, JACOBI_DEPS, ADI_DEPS):
+            for r in tiling_cone_rays(deps):
+                assert in_tiling_cone(r, deps)
+
+
+class TestInCone:
+    def test_interior(self):
+        assert in_tiling_cone((1, 1, 1), ADI_DEPS)
+
+    def test_outside(self):
+        assert not in_tiling_cone((-1, 0, 0), ADI_DEPS)
+
+    def test_rational_candidates_exact(self):
+        """Regression: Fraction entries must not be truncated."""
+        from fractions import Fraction
+        # (2, -1, -1) . (1, 1, 2) = -1: outside the SOR cone.
+        assert not in_tiling_cone(
+            (Fraction(2), Fraction(-1), Fraction(-1)), SOR_DEPS)
+
+    def test_boundary(self):
+        # (1,-1,-1) is orthogonal to both (1,1,0) and (1,0,1)
+        assert in_tiling_cone((1, -1, -1), ADI_DEPS)
+
+
+class TestEdgeCases:
+    def test_1d(self):
+        assert tiling_cone_rays([(1,), (2,)]) == [(1,)]
+
+    def test_2d_quadrant(self):
+        rays = set(tiling_cone_rays([(1, 0), (0, 1)]))
+        assert rays == {(1, 0), (0, 1)}
+
+    def test_2d_wedge(self):
+        rays = set(tiling_cone_rays([(1, 1), (1, -1)]))
+        assert rays == {(1, 1), (1, -1)}
+
+    def test_empty_deps_rejected(self):
+        with pytest.raises(ValueError):
+            tiling_cone_rays([])

@@ -1,0 +1,47 @@
+"""Unit tests for tiling legality (H D >= 0)."""
+
+import pytest
+
+from repro.apps import adi, jacobi, sor
+from repro.tiling import check_legal_tiling, is_legal_tiling
+from repro.tiling.shapes import rectangular_tiling
+
+
+class TestLegality:
+    def test_rect_legal_for_nonneg_deps(self):
+        assert is_legal_tiling(rectangular_tiling([2, 2]),
+                               [(1, 0), (0, 1), (1, 1)])
+
+    def test_rect_illegal_for_negative_dep(self):
+        assert not is_legal_tiling(rectangular_tiling([2, 2]),
+                                   [(1, -1)])
+
+    def test_check_raises_with_context(self):
+        with pytest.raises(ValueError, match="dependence"):
+            check_legal_tiling(rectangular_tiling([2, 2]), [(1, -1)])
+
+    def test_check_passes_silently(self):
+        check_legal_tiling(rectangular_tiling([2, 2]), [(1, 1)])
+
+
+class TestPaperTilings:
+    """Every experimental tiling in §4 must be legal for its skewed nest."""
+
+    def test_sor(self, sor_small):
+        deps = sor_small.nest.dependences
+        assert is_legal_tiling(sor.h_rectangular(2, 3, 4), deps)
+        assert is_legal_tiling(sor.h_nonrectangular(2, 3, 4), deps)
+
+    def test_sor_nr_illegal_on_unskewed(self, sor_small):
+        deps = sor_small.original.dependences
+        assert not is_legal_tiling(sor.h_rectangular(2, 3, 4), deps)
+
+    def test_jacobi(self, jacobi_small):
+        deps = jacobi_small.nest.dependences
+        assert is_legal_tiling(jacobi.h_rectangular(2, 4, 3), deps)
+        assert is_legal_tiling(jacobi.h_nonrectangular(2, 4, 3), deps)
+
+    def test_adi_all_four(self, adi_small):
+        deps = adi_small.nest.dependences
+        for hf in (adi.h_rectangular, adi.h_nr1, adi.h_nr2, adi.h_nr3):
+            assert is_legal_tiling(hf(2, 3, 3), deps)

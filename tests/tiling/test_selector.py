@@ -1,0 +1,69 @@
+"""Unit tests for tile-size selection."""
+
+import pytest
+
+from repro.apps import sor
+from repro.runtime import ClusterSpec
+from repro.tiling import ratio_balanced_extent, sweep_best_extent
+
+
+@pytest.fixture(scope="module")
+def setting():
+    app = sor.app(12, 16)
+    h_of = lambda z: sor.h_nonrectangular(3, 4, z)
+    return app, h_of
+
+
+class TestRatioBalanced:
+    def test_returns_candidate(self, setting):
+        app, h_of = setting
+        ext = ratio_balanced_extent(h_of, app.nest, 2, ClusterSpec(),
+                                    candidates=range(1, 17))
+        assert 1 <= ext <= 16
+
+    def test_slower_cpu_wants_smaller_tiles(self, setting):
+        """More compute per point balances against comm with a smaller
+        chain extent."""
+        app, h_of = setting
+        fast_cpu = ClusterSpec(time_per_iteration=50e-9)
+        slow_cpu = ClusterSpec(time_per_iteration=5000e-9)
+        e_fast = ratio_balanced_extent(h_of, app.nest, 2, fast_cpu,
+                                       candidates=range(1, 33))
+        e_slow = ratio_balanced_extent(h_of, app.nest, 2, slow_cpu,
+                                       candidates=range(1, 33))
+        assert e_slow <= e_fast
+
+    def test_no_valid_candidate_raises(self, setting):
+        app, _ = setting
+
+        def bad(_ext):
+            from repro.tiling import parallelepiped_tiling
+            # P is never integral: TTIS construction fails
+            return parallelepiped_tiling(
+                [["1/2", "-1/3", 0], [0, "1/2", 0], [0, 0, "1/2"]])
+
+        with pytest.raises(ValueError):
+            ratio_balanced_extent(bad, app.nest, 2, ClusterSpec(),
+                                  candidates=[2, 3])
+
+
+class TestSweep:
+    def test_best_is_argmax_of_curve(self, setting):
+        app, h_of = setting
+        out = sweep_best_extent(h_of, app.nest, 2, ClusterSpec(),
+                                candidates=(2, 4, 8))
+        speeds = dict(out.curve)
+        assert out.best_speedup == max(speeds.values())
+        assert speeds[out.best_extent] == out.best_speedup
+
+    def test_curve_covers_candidates(self, setting):
+        app, h_of = setting
+        out = sweep_best_extent(h_of, app.nest, 2, ClusterSpec(),
+                                candidates=(2, 4))
+        assert [e for e, _ in out.curve] == [2, 4]
+
+    def test_deterministic(self, setting):
+        app, h_of = setting
+        a = sweep_best_extent(h_of, app.nest, 2, ClusterSpec(), (2, 4))
+        b = sweep_best_extent(h_of, app.nest, 2, ClusterSpec(), (2, 4))
+        assert a == b

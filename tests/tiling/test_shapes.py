@@ -1,0 +1,63 @@
+"""Unit tests for tiling-matrix constructors."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.tiling import (
+    cone_aligned_tiling,
+    parallelepiped_tiling,
+    rectangular_tiling,
+    tiling_cone_rays,
+)
+
+
+class TestRectangular:
+    def test_diag(self):
+        h = rectangular_tiling([2, 5])
+        assert h[0, 0] == Fraction(1, 2)
+        assert h[1, 1] == Fraction(1, 5)
+        assert h[0, 1] == 0
+
+    def test_inverse_is_diag_sizes(self):
+        h = rectangular_tiling([3, 7])
+        p = h.inverse()
+        assert p[0, 0] == 3 and p[1, 1] == 7
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            rectangular_tiling([0, 2])
+
+
+class TestParallelepiped:
+    def test_string_rows(self):
+        h = parallelepiped_tiling([["1/4", "-1/4"], [0, "1/2"]])
+        assert h[0, 1] == Fraction(-1, 4)
+
+
+class TestConeAligned:
+    ADI_DEPS = [(1, 0, 0), (1, 1, 0), (1, 0, 1)]
+
+    def test_builds_adi_nr3(self):
+        rays = [(1, -1, -1), (0, 1, 0), (0, 0, 1)]
+        h = cone_aligned_tiling(rays, [4, 4, 4], deps=self.ADI_DEPS)
+        from repro.apps import adi
+        assert h == adi.h_nr3(4, 4, 4)
+
+    def test_rejects_ray_outside_cone(self):
+        with pytest.raises(ValueError):
+            cone_aligned_tiling([(-1, 0, 0), (0, 1, 0), (0, 0, 1)],
+                                [2, 2, 2], deps=self.ADI_DEPS)
+
+    def test_accepts_computed_extreme_rays(self):
+        rays = tiling_cone_rays(self.ADI_DEPS)
+        h = cone_aligned_tiling(rays, [3] * len(rays), deps=self.ADI_DEPS)
+        assert h.nrows == 3
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cone_aligned_tiling([(1, 0)], [2, 3])
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            cone_aligned_tiling([(1, 0), (0, 1)], [2, -1])
