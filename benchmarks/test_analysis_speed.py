@@ -1,0 +1,80 @@
+"""Verifier overhead guard.
+
+``TiledProgram(..., verify=True)`` promises a *cheap* construction-time
+check.  This benchmark pins that promise: on the paper's largest
+SOR / Jacobi / ADI configurations (the 16-node spaces of Figures 5, 7
+and 9/10), running the full verifier over a freshly compiled program
+must cost less than 20% of compiling the program in the first place.
+
+Construction and verification are timed separately (best-of-N to shed
+scheduler noise); their ratio is exactly the extra latency a
+``verify=True`` caller pays, because the guard re-runs nothing the
+compiler already did.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import verify_program
+from repro.apps import adi, jacobi, sor
+from repro.experiments.figures import (
+    adi_factors,
+    jacobi_factors,
+    sor_factors,
+)
+from repro.runtime import TiledProgram
+
+#: Maximum verifier time as a fraction of construction time.
+OVERHEAD_BUDGET = 0.20
+
+#: Timing rounds per config; the minimum of each phase is compared.
+ROUNDS = 5
+
+
+def _sor_config():
+    m, n = 200, 400                       # largest Figure 5 space
+    x, y = sor_factors(m, n)
+    return sor.app(m, n), sor.h_nonrectangular(x, y, 8), 2
+
+
+def _jacobi_config():
+    t, i, j = 100, 200, 200               # largest Figure 7 space
+    y, z = jacobi_factors(t, i, j)
+    return jacobi.app(t, i, j), jacobi.h_nonrectangular(8, y, z), 0
+
+
+def _adi_config():
+    t, n = 200, 256                       # largest Figure 9 space
+    y, z = adi_factors(t, n)
+    return adi.app(t, n), adi.h_nr1(16, y, z), 0
+
+
+def _measure(make_config):
+    app, h, mapping_dim = make_config()
+    construct, verify = [], []
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        program = TiledProgram(app.nest, h, mapping_dim)
+        t1 = time.perf_counter()
+        report = verify_program(program)
+        t2 = time.perf_counter()
+        assert report.ok
+        construct.append(t1 - t0)
+        verify.append(t2 - t1)
+    best_c, best_v = min(construct), min(verify)
+    return best_v / best_c, best_c, best_v
+
+
+@pytest.mark.parametrize("make_config", [
+    _sor_config, _jacobi_config, _adi_config,
+], ids=["sor-200x400-z8", "jacobi-100x200x200-x8", "adi-200x256-x16"])
+def test_bench_verifier_overhead(benchmark, make_config):
+    ratio, best_c, best_v = benchmark.pedantic(
+        _measure, args=(make_config,), rounds=1, iterations=1)
+    print(f"\nconstruct={best_c * 1e3:.1f}ms verify={best_v * 1e3:.1f}ms "
+          f"overhead={ratio:.1%} (budget {OVERHEAD_BUDGET:.0%})")
+    assert ratio < OVERHEAD_BUDGET, (
+        f"verifier overhead {ratio:.1%} exceeds the "
+        f"{OVERHEAD_BUDGET:.0%} budget "
+        f"(construct {best_c * 1e3:.1f}ms, verify {best_v * 1e3:.1f}ms)")

@@ -1,0 +1,63 @@
+"""Compile-time verification of tiled programs (static analysis).
+
+A pass-based verifier that proves, without executing anything, that a
+compiled :class:`~repro.runtime.executor.TiledProgram` is well-formed:
+
+* :mod:`repro.analysis.races` — every cross-processor tile dependence
+  is covered by the communication spec, pack regions contain every
+  crossing iteration, and no two writers touch an LDS cell unordered;
+* :mod:`repro.analysis.deadlock` — the per-rank Send/Recv sequences
+  complete under blocking MPI semantics (the runtime ``DeadlockError``
+  made static);
+* :mod:`repro.analysis.bounds` — every LDS address (compute, read,
+  halo unpack) stays inside the allocated rectangle and the address
+  maps round-trip;
+* :mod:`repro.analysis.verifier` — the driver: legality/tile-size
+  prechecks plus the passes above, accumulated into one
+  :class:`~repro.analysis.diagnostics.AnalysisReport`.
+
+Entry points: ``analyze(nest, h)`` from scratch, ``analyze_program``
+over a compiled program, ``verify_program`` as a raising guard (used by
+``TiledProgram(..., verify=True)`` and the ``repro analyze`` CLI).
+"""
+
+from repro.analysis.diagnostics import (
+    ERROR,
+    INFO,
+    WARNING,
+    AnalysisReport,
+    Diagnostic,
+)
+from repro.analysis.schedule_model import RecvOp, ScheduleModel, SendOp
+from repro.analysis.deadlock import check_deadlock, check_program_deadlock
+from repro.analysis.races import check_races
+from repro.analysis.bounds import check_bounds
+from repro.analysis.verifier import (
+    VerificationError,
+    analyze,
+    analyze_program,
+    analyze_tiling,
+    check_tiling,
+    verify_program,
+)
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "Diagnostic",
+    "AnalysisReport",
+    "RecvOp",
+    "SendOp",
+    "ScheduleModel",
+    "check_deadlock",
+    "check_program_deadlock",
+    "check_races",
+    "check_bounds",
+    "check_tiling",
+    "analyze",
+    "analyze_tiling",
+    "analyze_program",
+    "verify_program",
+    "VerificationError",
+]

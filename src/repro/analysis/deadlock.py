@@ -1,0 +1,306 @@
+"""Static deadlock checker over abstract rank programs.
+
+The vMPI engine (:mod:`repro.runtime.vmpi`) raises ``DeadlockError`` at
+*runtime* when no rank can progress.  This pass proves the same
+property at *compile time* by abstractly executing the per-rank
+Send/Recv sequences of a :class:`~repro.analysis.schedule_model.ScheduleModel`
+(or any hand-written op lists) under MPI point-to-point semantics:
+FIFO per ``(src, dest, tag)`` channel, blocking receives, and —
+conservatively — fully synchronous sends (the rendezvous protocol of
+``ClusterSpec.rendezvous_threshold``; any program deadlock-free under
+synchronous sends is deadlock-free under the eager protocol too).
+
+Three families of findings:
+
+* ``DL01``/``DL02`` — per-channel multiset mismatches (a receive with
+  no send, a send with no receive);
+* ``DL04`` — FIFO position size mismatches (the executor's runtime
+  ``assert got == nelems`` made static);
+* ``DL03`` — order-induced cyclic waits even when every multiset
+  matches (the classic crossed recv/recv or sync send/send cycle).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import ERROR, WARNING, Diagnostic
+from repro.analysis.schedule_model import RecvOp, ScheduleModel, SendOp
+
+PASS = "deadlock"
+_EQ_CHANNEL = "each (src, dest, tag) FIFO channel must carry equal " \
+    "send/recv multisets (SEND/RECEIVE, §3.2)"
+
+
+def _normalize(ops_by_rank: Dict[int, Sequence[object]]
+               ) -> Dict[int, List[object]]:
+    """Accept ``RecvOp``/``SendOp`` or raw ``vmpi.Send``/``vmpi.Recv``."""
+    from repro.runtime.vmpi import Recv as VRecv, Send as VSend
+    out: Dict[int, List[object]] = {}
+    for rank, seq in ops_by_rank.items():
+        norm: List[object] = []
+        for op in seq:
+            if isinstance(op, (RecvOp, SendOp)):
+                norm.append(op)
+            elif isinstance(op, VRecv):
+                norm.append(RecvOp(source=op.source, tag=op.tag))
+            elif isinstance(op, VSend):
+                norm.append(SendOp(dest=op.dest, tag=op.tag,
+                                   nelems=op.nelems))
+            else:
+                raise TypeError(f"rank {rank}: unknown op {op!r}")
+        out[rank] = norm
+    return out
+
+
+def _subject(rank: int, op: object) -> Tuple[Tuple[str, object], ...]:
+    items: List[Tuple[str, object]] = [("rank", rank)]
+    if isinstance(op, RecvOp):
+        items += [("source", op.source), ("tag", op.tag)]
+    elif isinstance(op, SendOp):
+        items += [("dest", op.dest), ("tag", op.tag)]
+    for name in ("tile", "step"):
+        val = getattr(op, name, None)
+        if val is not None:
+            items.append((name, val))
+    return tuple(items)
+
+
+def _check_channels(ops: Dict[int, List[object]]) -> List[Diagnostic]:
+    """Multiset + FIFO-size agreement per channel (DL01/DL02/DL04)."""
+    sends: Dict[Tuple[int, int, int], List[SendOp]] = {}
+    recvs: Dict[Tuple[int, int, int], List[Tuple[int, RecvOp]]] = {}
+    for rank, seq in ops.items():
+        for op in seq:
+            if isinstance(op, SendOp):
+                sends.setdefault((rank, op.dest, op.tag), []).append(op)
+            else:
+                recvs.setdefault((op.source, rank, op.tag), []) \
+                    .append((rank, op))
+    diags: List[Diagnostic] = []
+    for key in sorted(set(sends) | set(recvs)):
+        src, dst, tag = key
+        ss = sends.get(key, [])
+        rr = recvs.get(key, [])
+        if len(rr) > len(ss):
+            rank, op = rr[len(ss)]
+            diags.append(Diagnostic(
+                code="DL01", severity=ERROR, pass_name=PASS,
+                message=f"rank {dst} posts {len(rr)} receive(s) on channel "
+                        f"(src={src}, tag={tag}) but only {len(ss)} "
+                        f"send(s) are ever issued; the extra receive "
+                        f"blocks forever",
+                equation=_EQ_CHANNEL,
+                subject=_subject(rank, op),
+                suggestion="emit the missing SEND (check send_plan / "
+                           "minsucc aggregation for this d^m)",
+            ))
+        elif len(ss) > len(rr):
+            op = ss[len(rr)]
+            diags.append(Diagnostic(
+                code="DL02", severity=WARNING, pass_name=PASS,
+                message=f"rank {src} issues {len(ss)} send(s) on channel "
+                        f"(dest={dst}, tag={tag}) but only {len(rr)} "
+                        f"receive(s) are posted; the message is never "
+                        f"consumed",
+                equation=_EQ_CHANNEL,
+                subject=_subject(src, op),
+                suggestion="drop the send or post the matching RECEIVE",
+            ))
+        for pos, (s_op, (r_rank, r_op)) in enumerate(zip(ss, rr)):
+            if (s_op.nelems is not None and r_op.nelems is not None
+                    and s_op.nelems != r_op.nelems):
+                diags.append(Diagnostic(
+                    code="DL04", severity=ERROR, pass_name=PASS,
+                    message=f"FIFO position {pos} of channel (src={src}, "
+                            f"dest={dst}, tag={tag}): send carries "
+                            f"{s_op.nelems} elements but the receive "
+                            f"expects {r_op.nelems}",
+                    equation="pack and unpack regions must agree: "
+                             "|region(pred, d^S)| x |arrays| (SEND/RECEIVE)",
+                    subject=_subject(r_rank, r_op),
+                    suggestion="pack region and unpack region diverged; "
+                               "check pack_lower_bounds / region_count",
+                ))
+                break
+    return diags
+
+
+class _RankState:
+    __slots__ = ("rank", "seq", "pc", "parked")
+
+    def __init__(self, rank: int, seq: List[object]):
+        self.rank = rank
+        self.seq = seq
+        self.pc = 0
+        self.parked = False     # blocked in a synchronous send handshake
+
+    @property
+    def done(self) -> bool:
+        return self.pc >= len(self.seq)
+
+    @property
+    def current(self) -> Optional[object]:
+        return None if self.done else self.seq[self.pc]
+
+
+def _abstract_run(ops: Dict[int, List[object]],
+                  synchronous: bool) -> Tuple[bool, Dict[int, _RankState],
+                                              Dict[Tuple[int, int, int],
+                                                   List[int]]]:
+    """Run the channel machine to completion or a stuck state.
+
+    Returns ``(completed, states, leftover_channels)`` where
+    ``leftover_channels`` maps channels to sender ranks of messages
+    enqueued but never received (eager mode only).
+    """
+    states = {r: _RankState(r, seq) for r, seq in sorted(ops.items())}
+    # channel -> list of sender ranks with an outstanding (un-received)
+    # message, FIFO order; in synchronous mode the sender is parked on it.
+    channels: Dict[Tuple[int, int, int], List[int]] = {}
+    progressed = True
+    while progressed:
+        progressed = False
+        for rank in sorted(states):
+            st = states[rank]
+            if st.parked:
+                continue    # waiting for a receiver to complete the handshake
+            while not st.done:
+                op = st.current
+                if isinstance(op, SendOp):
+                    key = (rank, op.dest, op.tag)
+                    channels.setdefault(key, []).append(rank)
+                    if synchronous:
+                        # Park until the receiver consumes this message;
+                        # the matcher below advances our pc.
+                        st.parked = True
+                        progressed = True
+                        break
+                    st.pc += 1
+                    progressed = True
+                    continue
+                # RecvOp: consume the oldest outstanding send, if any.
+                key = (op.source, rank, op.tag)
+                queue = channels.get(key)
+                if not queue:
+                    break       # truly blocked
+                sender = queue.pop(0)
+                s_st = states[sender]
+                if synchronous and s_st.parked and not s_st.done and \
+                        isinstance(s_st.current, SendOp) and \
+                        (sender, s_st.current.dest, s_st.current.tag) == key:
+                    s_st.parked = False
+                    s_st.pc += 1
+                st.pc += 1
+                progressed = True
+    completed = all(st.done and not st.parked for st in states.values())
+    leftover = {k: v for k, v in channels.items() if v}
+    return completed, states, leftover
+
+
+def _wait_edges(states: Dict[int, _RankState]) -> Dict[int, int]:
+    """Who each stuck rank is waiting for (one edge per rank)."""
+    edges: Dict[int, int] = {}
+    for rank, st in states.items():
+        if st.done and not st.parked:
+            continue
+        op = st.current
+        if isinstance(op, RecvOp):
+            edges[rank] = op.source
+        elif isinstance(op, SendOp):
+            edges[rank] = op.dest
+    return edges
+
+
+def _find_cycle(edges: Dict[int, int]) -> Optional[List[int]]:
+    for start in sorted(edges):
+        seen: List[int] = []
+        cur = start
+        while cur in edges and cur not in seen:
+            seen.append(cur)
+            cur = edges[cur]
+        if cur in seen:
+            return seen[seen.index(cur):]
+    return None
+
+
+def check_deadlock(ops_by_rank: Dict[int, Sequence[object]],
+                   synchronous: bool = True) -> List[Diagnostic]:
+    """All deadlock findings for a set of per-rank op sequences."""
+    ops = _normalize(ops_by_rank)
+    diags = _check_channels(ops)
+    completed, states, leftover = _abstract_run(ops, synchronous)
+    if not completed:
+        edges = _wait_edges(states)
+        cycle = _find_cycle(edges)
+        channel_errors = {d.code for d in diags} & {"DL01"}
+        if cycle:
+            waits = []
+            for r in cycle:
+                op = states[r].current
+                kind = "recv" if isinstance(op, RecvOp) else "send"
+                peer = op.source if isinstance(op, RecvOp) else op.dest
+                waits.append(f"rank {r} blocked on {kind}"
+                             f"(peer={peer}, tag={op.tag})")
+            diags.append(Diagnostic(
+                code="DL03", severity=ERROR, pass_name=PASS,
+                message="cyclic wait among ranks "
+                        f"{' -> '.join(str(r) for r in cycle)} -> "
+                        f"{cycle[0]}: " + "; ".join(waits),
+                equation="the wait-for graph of blocked ranks must be "
+                         "acyclic (vMPI blocking semantics)",
+                subject=(("cycle", tuple(cycle)),),
+                suggestion="reorder the receives to match the senders' "
+                           "issue order, or break the send/send cycle "
+                           "with buffering",
+            ))
+        elif not channel_errors:
+            stuck = sorted(r for r, st in states.items()
+                           if not st.done or st.parked)
+            rank = stuck[0]
+            diags.append(Diagnostic(
+                code="DL01", severity=ERROR, pass_name=PASS,
+                message=f"ranks {stuck} cannot progress: blocked on "
+                        "operations whose peers have already finished",
+                equation=_EQ_CHANNEL,
+                subject=_subject(rank, states[rank].current),
+                suggestion="check the send/recv pairing of the stuck "
+                           "channels",
+            ))
+    return diags
+
+
+def check_program_deadlock(model: ScheduleModel,
+                           synchronous: Optional[bool] = None
+                           ) -> List[Diagnostic]:
+    """Deadlock findings for a compiled program's schedule model.
+
+    With ``synchronous=None`` (default) both protocols are analyzed:
+    findings under the *eager* protocol — the default
+    ``ClusterSpec(rendezvous_threshold=None)`` — are reported at their
+    natural severity (the runtime would raise ``DeadlockError``), while
+    cyclic waits that appear only under fully *synchronous* sends are
+    demoted to warnings: they manifest only when a rendezvous threshold
+    forces the handshake (a real hazard — several of the paper's own
+    tilings deadlock under ``rendezvous_threshold=0`` — but not under
+    the default configuration).
+    """
+    if synchronous is not None:
+        return check_deadlock(model.ops, synchronous=synchronous)
+    diags = check_deadlock(model.ops, synchronous=False)
+    if any(d.severity == ERROR for d in diags):
+        return diags
+    from dataclasses import replace
+    for d in check_deadlock(model.ops, synchronous=True):
+        if d.code == "DL03":
+            diags.append(replace(
+                d, severity=WARNING,
+                message=d.message + " — only under the synchronous "
+                        "rendezvous protocol (a small enough "
+                        "ClusterSpec.rendezvous_threshold); the default "
+                        "eager protocol completes",
+                suggestion="keep rendezvous_threshold above the message "
+                           "sizes, enable overlap, or reorder sends "
+                           "along the schedule",
+            ))
+    return diags

@@ -1,0 +1,118 @@
+"""Abstract per-rank Send/Recv/compute programs, derived statically.
+
+The verifier must reason about exactly the message sequence each rank's
+generated node program will issue — without executing it.  This module
+replays :meth:`TiledProgram.receive_plan` / :meth:`send_plan` (the same
+code path :class:`repro.runtime.executor.DistributedRun` drives) into
+plain ordered op lists, one per rank, annotated with the compile-time
+context (tile, tile dependence ``d^S``, processor dependence ``d^m``)
+each op came from.
+
+The model is the single source of truth for the deadlock and race
+passes, so a schedule bug surfaces identically in both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+Tile = Tuple[int, ...]
+Pid = Tuple[int, ...]
+
+
+class RecvOp(NamedTuple):
+    """A blocking receive the node program will post.
+
+    A ``NamedTuple`` rather than a dataclass: the model builds one op
+    per scheduled message, so construction cost is on the verifier's
+    critical path.  (The two op types can never compare equal: their
+    arities differ.)
+    """
+
+    source: int                     # sender rank
+    tag: int                        # message tag (index into D^m)
+    nelems: Optional[int] = None    # expected element count (None: unknown)
+    tile: Optional[Tile] = None     # receiving tile
+    pred: Optional[Tile] = None     # predecessor tile the data comes from
+    ds: Optional[Tile] = None       # tile dependence d^S carried
+    step: Optional[int] = None      # chain position of `tile`
+
+
+class SendOp(NamedTuple):
+    """A send the node program will issue."""
+
+    dest: int                       # receiver rank
+    tag: int                        # message tag (index into D^m)
+    nelems: Optional[int] = None    # element count (None: unknown)
+    tile: Optional[Tile] = None     # sending tile
+    dm: Optional[Pid] = None        # processor dependence d^m crossed
+    step: Optional[int] = None      # chain position of `tile`
+
+
+Op = object  # RecvOp | SendOp (py39-compatible alias for annotations)
+
+
+class ScheduleModel:
+    """Ordered abstract op lists per rank for one compiled program."""
+
+    def __init__(self, program) -> None:
+        self.program = program
+        narr = len(program.arrays)
+        dist = program.dist
+        comm = program.comm
+        rank_of = program.rank_of
+        region_count = program.region_count
+        prewarm = getattr(program, "prewarm_region_counts", None)
+        if prewarm is not None:
+            prewarm()
+        m = dist.m
+        tags = {dm: i for i, dm in enumerate(comm.d_m)}
+        full_dirs = {dm: dm[:m] + (0,) + dm[m:] for dm in comm.d_m}
+        self.ops: Dict[int, List[Op]] = {}
+        for pid in program.pids:
+            rank = rank_of[pid]
+            seq: List[Op] = []
+            for tile in dist.tiles_of(pid):
+                step = dist.chain_index(tile)
+                for ds, pred, src in program.receive_plan(tile):
+                    nelems = region_count(pred, ds) * narr
+                    if nelems == 0:
+                        continue
+                    dm = comm.project(ds)
+                    seq.append(RecvOp(
+                        source=rank_of[src], tag=tags[dm],
+                        nelems=nelems, tile=tile, pred=pred, ds=ds,
+                        step=step))
+                for dm, dst in program.send_plan(tile):
+                    nelems = region_count(tile, full_dirs[dm]) * narr
+                    if nelems == 0:
+                        continue
+                    seq.append(SendOp(
+                        dest=rank_of[dst], tag=tags[dm],
+                        nelems=nelems, tile=tile, dm=dm, step=step))
+            self.ops[rank] = seq
+
+    # -- channel views -----------------------------------------------------------
+
+    def channel_sends(self) -> Dict[Tuple[int, int, int], List[SendOp]]:
+        """Sends per ``(src, dest, tag)`` FIFO channel, in issue order."""
+        out: Dict[Tuple[int, int, int], List[SendOp]] = {}
+        for rank, seq in self.ops.items():
+            for op in seq:
+                if isinstance(op, SendOp):
+                    out.setdefault((rank, op.dest, op.tag), []).append(op)
+        return out
+
+    def channel_recvs(self) -> Dict[Tuple[int, int, int], List[RecvOp]]:
+        """Receives per ``(src, dest, tag)`` channel, in post order."""
+        out: Dict[Tuple[int, int, int], List[RecvOp]] = {}
+        for rank, seq in self.ops.items():
+            for op in seq:
+                if isinstance(op, RecvOp):
+                    out.setdefault((op.source, rank, op.tag), []).append(op)
+        return out
+
+    @property
+    def total_messages(self) -> int:
+        return sum(1 for seq in self.ops.values()
+                   for op in seq if isinstance(op, SendOp))

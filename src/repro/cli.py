@@ -8,6 +8,9 @@ tiling, get code and cluster numbers back:
 * ``codegen``   — emit the sequential tiled code, the C+MPI program, or
   the executable Python schedule.
 * ``simulate``  — run the virtual cluster and print speedup/utilization.
+* ``analyze``   — static verification: legality, race, deadlock and
+  halo-bounds passes over the compiled program, without executing it.
+  Exits nonzero when any error-severity diagnostic is found.
 * ``figure``    — regenerate one of the paper's figures (5-10).
 
 Apps are the paper's three benchmarks; sizes and tile factors come from
@@ -16,6 +19,7 @@ flags.  Examples::
     python -m repro info --app sor -s 100 200 -t 26 76 8 --shape nonrect
     python -m repro codegen --app adi -s 20 24 -t 4 6 6 --shape nr3 --kind mpi
     python -m repro simulate --app jacobi -s 50 100 100 -t 4 38 38 --shape rect
+    python -m repro analyze --app sor -s 8 12 -t 2 3 4 --shape nonrect --json
     python -m repro figure fig6
 """
 
@@ -169,6 +173,35 @@ def cmd_verify(args) -> int:
     return 1
 
 
+def cmd_analyze(args) -> int:
+    """Run the static verifier and render its report."""
+    from repro.analysis import analyze
+
+    app = _build_app(args.app, args.sizes)
+    h = _build_h(args.app, args.shape, args.tile)
+    nest = app.nest
+    if args.unskewed:
+        # Analyze the tiling against the *original* (unskewed) nest —
+        # the canonical way to watch the legality pass fire: the paper's
+        # rectangular tilings are only legal after skewing.
+        originals = {"sor": sor.original_nest, "jacobi": jacobi.original_nest,
+                     "adi": adi.original_nest}
+        nest = originals[args.app](*args.sizes)
+    subject = (f"{args.app} sizes={args.sizes} tile={args.tile} "
+               f"shape={args.shape}"
+               + (" (unskewed nest)" if args.unskewed else ""))
+    try:
+        report = analyze(nest, h, mapping_dim=app.mapping_dim,
+                         subject=subject)
+    except ValueError as exc:
+        # Defects outside the verifier's pass coverage (e.g. an empty
+        # tile space) still surface as a failure, not a crash.
+        print(f"analysis aborted: {exc}", file=sys.stderr)
+        return 1
+    print(report.to_json() if args.json else report.render_text())
+    return 0 if report.ok else 1
+
+
 def cmd_figure(args) -> int:
     from repro.experiments import figures
     from repro.experiments.report import format_table
@@ -223,6 +256,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                        "sequential reference")
     _common_flags(p_ver)
     p_ver.set_defaults(fn=cmd_verify)
+
+    p_ana = sub.add_parser(
+        "analyze", help="static verification: race, deadlock and "
+                        "halo-bounds passes (no execution)")
+    _common_flags(p_ana)
+    p_ana.add_argument("--json", action="store_true",
+                       help="emit the report as JSON instead of text")
+    p_ana.add_argument("--unskewed", action="store_true",
+                       help="check the tiling against the original "
+                            "(unskewed) nest instead of the skewed one")
+    p_ana.set_defaults(fn=cmd_analyze)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("name", help="fig5 .. fig10")

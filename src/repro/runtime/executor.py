@@ -47,7 +47,8 @@ class TiledProgram:
     """Everything the compiler derives for one nest under one tiling."""
 
     def __init__(self, nest: LoopNest, h: RatMat,
-                 mapping_dim: Optional[int] = None):
+                 mapping_dim: Optional[int] = None,
+                 verify: bool = False):
         check_legal_tiling(h, nest.dependences)
         self.nest = nest
         self.tiling = TilingTransformation(h, nest.domain)
@@ -78,6 +79,16 @@ class TiledProgram:
         self._region_cache: Dict[Tuple[Tile, Tuple[int, ...]], int] = {}
         self._full_region_cache: Dict[Tuple[int, ...], int] = {}
         self._mask_cache: Dict[Tile, np.ndarray] = {}
+        self._region_prewarmed = False
+        self._recv_order: Dict[Pid, Tuple[Tuple[Tile, ...],
+                                          Tuple[Tile, ...]]] = {}
+        if verify:
+            # Guard mode: refuse to hand out a program the static
+            # verifier can prove will race, deadlock, or address out of
+            # bounds.  Import lazily — the analysis package depends on
+            # this module.
+            from repro.analysis.verifier import verify_program
+            verify_program(self)
 
     # -- static queries ----------------------------------------------------------
 
@@ -127,14 +138,89 @@ class TiledProgram:
         return count
 
     def region_count(self, tile: Tile, direction: Sequence[int]) -> int:
-        if self.tiling.classify_tile(tile) == "full":
-            return self.full_region_count(direction)
-        key = (tile, tuple(int(x) for x in direction))
+        key = (tile, tuple(direction))
         count = self._region_cache.get(key)
         if count is None:
-            count = int(self.region_mask(tile, direction).sum())
+            if self.tiling.classify_tile(tile) == "full":
+                count = self.full_region_count(direction)
+            else:
+                count = int(self.region_mask(tile, direction).sum())
             self._region_cache[key] = count
         return count
+
+    def prewarm_region_counts(self) -> None:
+        """Bulk-fill the region-count cache for every (tile, direction)
+        the communication schedule can ask about.
+
+        One matrix product over the cached partial-tile masks replaces
+        thousands of per-tile mask reductions — this is what keeps the
+        static verifier's schedule replay a small fraction of
+        construction time.  Idempotent; safe to skip (the lazy per-call
+        path computes identical values).
+        """
+        if self._region_prewarmed:
+            return
+        self._region_prewarmed = True
+        comm, dist, tiling = self.comm, self.dist, self.tiling
+        m = dist.m
+        # Exactly the directions the communication schedule queries:
+        # tile dependencies of each d^m (receives) and the zeroed-at-m
+        # processor directions (sends).
+        dirs: List[Tuple[int, ...]] = []
+        for dm in comm.d_m:
+            dirs.extend(tuple(ds) for ds in comm.ds_of_dm(dm))
+            dirs.append(dm[:m] + (0,) + dm[m:])
+        dirs = list(dict.fromkeys(dirs))
+        if not dirs:
+            return
+        lat = tiling.ttis.lattice_points_np()
+        nlat = len(lat)
+        # Pack regions are thin slabs (thickness v_k - cc_k); count over
+        # the slab columns, or over the complement when the slab is the
+        # wide side.  Only the union of those column sets is ever
+        # touched, so partial-tile masks are gathered down to it instead
+        # of being densified into a (tiles x volume) matrix.
+        sels = []                           # (d, columns, use_complement)
+        need_totals = False
+        for d in dirs:
+            lbs = comm.pack_lower_bounds(d)
+            vec = np.ones(nlat, dtype=bool)
+            for k in range(self.n):
+                if lbs[k] > 0:
+                    vec &= lat[:, k] >= lbs[k]
+            self._full_region_cache[d] = int(vec.sum())
+            idx = np.nonzero(vec)[0]
+            if 2 * len(idx) <= nlat:
+                sels.append((d, idx, False))
+            else:
+                sels.append((d, np.nonzero(~vec)[0], True))
+                need_totals = True
+        full_counts = [self._full_region_cache[d] for d in dirs]
+        partial = [t for t in dist.tiles
+                   if tiling.classify_tile(t) == "partial"]
+        cache = self._region_cache
+        if partial:
+            cols = np.unique(np.concatenate(
+                [c for _, c, _ in sels])) if sels else \
+                np.empty(0, dtype=np.int64)
+            sub = np.empty((len(partial), len(cols)), dtype=bool)
+            for i, t in enumerate(partial):
+                sub[i] = tiling.tile_mask(t)[cols]
+            totals = np.array(
+                [np.count_nonzero(tiling.tile_mask(t)) for t in partial],
+                dtype=np.int64) if need_totals else None
+            for d, sel, use_comp in sels:
+                pos = np.searchsorted(cols, sel)
+                counts = np.count_nonzero(sub[:, pos], axis=1)
+                if use_comp:
+                    counts = totals - counts
+                for t, cnt in zip(partial, counts):
+                    cache[(t, d)] = int(cnt)
+        partial_set = set(partial)
+        for t in dist.tiles:
+            if t not in partial_set:
+                for d, cnt in zip(dirs, full_counts):
+                    cache[(t, d)] = cnt
 
     # -- the communication schedule (shared by both modes) --------------------------
 
@@ -146,31 +232,57 @@ class TiledProgram:
         predecessors in ascending chain position (descending ``d^S_m``).
         """
         comm, dist = self.comm, self.dist
+        tset = dist._tile_set
+        pid = dist.pid_of(tile)
         plan = []
         for dm in comm.d_m:
-            for ds in sorted(comm.ds_of_dm(dm),
-                             key=lambda d: -d[dist.m]):
-                pred = tuple(a - b for a, b in zip(tile, ds))
-                if not dist.valid(pred):
+            cands, lex = self._cand_orders(dm)
+            src = None
+            for ds in cands:
+                pred = tuple([a - b for a, b in zip(tile, ds)])
+                if pred not in tset:
                     continue
-                if comm.minsucc(dist.valid, pred, dm) != tile:
+                # tile == minsucc(pred, dm) iff ds is the lex-smallest
+                # candidate whose successor of pred is valid (succ order
+                # and candidate order agree: succ = pred + ds).
+                first = None
+                for ds2 in lex:
+                    if tuple([a + b for a, b in zip(pred, ds2)]) in tset:
+                        first = ds2
+                        break
+                if first != ds:
                     continue
-                src = tuple(a - b for a, b in zip(dist.pid_of(tile), dm))
+                if src is None:
+                    src = tuple([a - b for a, b in zip(pid, dm)])
                 plan.append((ds, pred, src))
         return plan
+
+    def _cand_orders(self, dm: Pid):
+        """Candidate ``d^S`` lists of one ``d^m``, in receive-plan order
+        (descending mapping component) and lexicographic order."""
+        orders = self._recv_order.get(dm)
+        if orders is None:
+            cands = tuple(sorted(self.comm.ds_of_dm(dm),
+                                 key=lambda d: -d[self.dist.m]))
+            orders = (cands, tuple(sorted(cands)))
+            self._recv_order[dm] = orders
+        return orders
 
     def send_plan(self, tile: Tile) -> List[Tuple[Pid, Pid]]:
         """Sends issued by ``tile``: ``(d^m, dst_pid)`` per successor
         processor with at least one valid successor tile."""
         comm, dist = self.comm, self.dist
+        tset = dist._tile_set
         plan = []
+        pid = None
         for dm in comm.d_m:
-            if any(
-                dist.valid(tuple(a + b for a, b in zip(tile, ds)))
-                for ds in comm.ds_of_dm(dm)
-            ):
-                dst = tuple(a + b for a, b in zip(dist.pid_of(tile), dm))
-                plan.append((dm, dst))
+            for ds in self._cand_orders(dm)[0]:
+                if tuple([a + b for a, b in zip(tile, ds)]) in tset:
+                    if pid is None:
+                        pid = dist.pid_of(tile)
+                    plan.append(
+                        (dm, tuple([a + b for a, b in zip(pid, dm)])))
+                    break
         return plan
 
     def message_tag(self, dm: Pid) -> int:

@@ -14,7 +14,11 @@
 from repro.tiling.transform import TilingTransformation
 from repro.tiling.ttis import TTIS
 from repro.tiling.cone import tiling_cone_rays, in_tiling_cone
-from repro.tiling.legality import is_legal_tiling, check_legal_tiling
+from repro.tiling.legality import (
+    is_legal_tiling,
+    check_legal_tiling,
+    legality_violations,
+)
 from repro.tiling.shapes import (
     rectangular_tiling,
     parallelepiped_tiling,
@@ -33,6 +37,7 @@ __all__ = [
     "in_tiling_cone",
     "is_legal_tiling",
     "check_legal_tiling",
+    "legality_violations",
     "rectangular_tiling",
     "parallelepiped_tiling",
     "cone_aligned_tiling",

@@ -9,10 +9,12 @@ tiling cone (Ramanujam & Sadayappan, paper ref [12]).
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Sequence
+from typing import List, Sequence, Tuple
 
 from repro.linalg.ratmat import RatMat
-from repro.tiling.cone import in_tiling_cone
+
+#: One violation: (row index of H, dependence vector, negative product).
+Violation = Tuple[int, Tuple[int, ...], Fraction]
 
 
 def is_legal_tiling(h: RatMat, deps: Sequence[Sequence[int]]) -> bool:
@@ -24,14 +26,42 @@ def is_legal_tiling(h: RatMat, deps: Sequence[Sequence[int]]) -> bool:
     return True
 
 
-def check_legal_tiling(h: RatMat, deps: Sequence[Sequence[int]]) -> None:
-    """Raise ``ValueError`` with the offending (row, dependence) pair."""
+def legality_violations(h: RatMat,
+                        deps: Sequence[Sequence[int]]) -> List[Violation]:
+    """Every offending ``(row, dependence, value)`` triple of ``H D``.
+
+    Unlike :func:`check_legal_tiling` this never raises; it enumerates
+    the complete violation set so diagnostics can show *all* rows that
+    need fixing (a skew usually has to repair several at once).
+    """
+    out: List[Violation] = []
     for d in deps:
         img = h.matvec(d)
+        dep = tuple(int(x) for x in d)
         for k, x in enumerate(img):
             if x < 0:
-                raise ValueError(
-                    f"illegal tiling: row {k} of H has negative inner "
-                    f"product {x} with dependence {tuple(d)}; skew the loop "
-                    "or pick rows from the tiling cone"
-                )
+                out.append((k, dep, x))
+    return out
+
+
+def format_violations(h: RatMat, violations: Sequence[Violation]) -> str:
+    """Shared message body: every (row, dependence) pair plus ``H``."""
+    pairs = "; ".join(
+        f"row {k} . {dep} = {x}" for k, dep, x in violations
+    )
+    return (
+        f"illegal tiling: {len(violations)} negative inner product(s) "
+        f"between rows of H and dependence vectors: {pairs}; "
+        f"H = {h.rows()}; skew the loop or pick rows from the tiling cone"
+    )
+
+
+def check_legal_tiling(h: RatMat, deps: Sequence[Sequence[int]]) -> None:
+    """Raise ``ValueError`` if illegal — thin wrapper over
+    :func:`legality_violations` that keeps the historical raise-on-call
+    behaviour; the message now lists *every* offending (row, dependence)
+    pair and includes ``H`` itself.
+    """
+    violations = legality_violations(h, deps)
+    if violations:
+        raise ValueError(format_violations(h, violations))

@@ -66,6 +66,7 @@ class TilingTransformation:
         self._extents_cache = None
         self._base_vals_cache = None
         self._mask_cache: Dict[Tuple[int, ...], np.ndarray] = {}
+        self._classify_cache: Dict[Tuple[int, ...], str] = {}
 
     # -- basic maps --------------------------------------------------------------
 
@@ -99,16 +100,23 @@ class TilingTransformation:
 
     def classify_tile(self, j_s: Sequence[int]) -> str:
         """``"full"`` (entirely inside the domain), ``"empty"``, or
-        ``"partial"`` (needs an exact mask)."""
-        lo, hi = self._constraint_extents()
-        base = self._amat @ (
-            self._p_int @ np.asarray(j_s, dtype=np.int64)
-        )
-        if np.all(base + hi <= self._bvec):
-            return "full"
-        if np.any(base + lo > self._bvec):
-            return "empty"
-        return "partial"
+        ``"partial"`` (needs an exact mask).  Cached per tile: the
+        schedule replay and the static verifier re-ask for the same
+        tiles thousands of times."""
+        key = tuple(int(x) for x in j_s)
+        cls = self._classify_cache.get(key)
+        if cls is None:
+            lo, hi = self._constraint_extents()
+            base = self._amat @ (self._p_int @ np.asarray(key,
+                                                          dtype=np.int64))
+            if np.all(base + hi <= self._bvec):
+                cls = "full"
+            elif np.any(base + lo > self._bvec):
+                cls = "empty"
+            else:
+                cls = "partial"
+            self._classify_cache[key] = cls
+        return cls
 
     def _base_constraint_values(self) -> np.ndarray:
         """``A @ p^T`` over the base TIS points, computed once.

@@ -1,0 +1,65 @@
+"""The ``repro analyze`` CLI: exit codes and report formats."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCleanAnalysis:
+    def test_clean_config_exits_zero(self, capsys):
+        rc = main(["analyze", "--app", "sor", "-s", "8", "12",
+                   "-t", "2", "3", "4", "--shape", "nonrect"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "clean: no diagnostics" in out
+        assert "passes: legality, races, deadlock, bounds" in out
+
+    def test_json_output_parses(self, capsys):
+        rc = main(["analyze", "--app", "adi", "-s", "4", "5",
+                   "-t", "2", "3", "3", "--shape", "rect", "--json"])
+        blob = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert blob["ok"] is True
+        assert blob["counts"]["error"] == 0
+        assert blob["passes"] == ["legality", "races", "deadlock", "bounds"]
+        assert blob["meta"]["processors"] >= 1
+
+
+class TestFailingAnalysis:
+    def test_unskewed_nest_exits_nonzero(self, capsys):
+        rc = main(["analyze", "--app", "sor", "-s", "8", "12",
+                   "-t", "2", "3", "3", "--shape", "rect", "--unskewed"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "error[LEG01]" in out
+        assert "tiling cone" in out
+
+    def test_unskewed_json_structured(self, capsys):
+        rc = main(["analyze", "--app", "jacobi", "-s", "3", "6", "6",
+                   "-t", "2", "3", "3", "--shape", "rect", "--unskewed",
+                   "--json"])
+        blob = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert blob["ok"] is False
+        codes = {d["code"] for d in blob["diagnostics"]}
+        assert codes == {"LEG01"}
+        first = blob["diagnostics"][0]
+        assert first["severity"] == "error"
+        assert first["pass"] == "legality"
+        assert "row" in first["subject"] and "dep" in first["subject"]
+        assert first["equation"].startswith("H D >= 0")
+
+    def test_warning_only_config_still_exits_zero(self, capsys):
+        # sor rect carries a DL03 rendezvous warning but no errors
+        rc = main(["analyze", "--app", "sor", "-s", "8", "12",
+                   "-t", "2", "3", "3", "--shape", "rect"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "warning[DL03]" in out
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--app", "sor", "-s", "8", "12",
+                  "-t", "2", "3", "3", "--shape", "diamond"])

@@ -1,0 +1,96 @@
+"""Unit tests for the Diagnostic / AnalysisReport framework."""
+
+import json
+
+import pytest
+
+from repro.analysis import ERROR, INFO, WARNING, AnalysisReport, Diagnostic
+
+
+def _diag(code="RACE01", severity=ERROR, **kw):
+    defaults = dict(
+        pass_name="races",
+        message="tile dependence (0, 1, 1) is not covered",
+        equation="D^S subset of covered deps (§3.2)",
+        subject=(("tile", (0, 1, 2)), ("ds", (0, 1, 1))),
+        suggestion="add the dependence to D^m",
+    )
+    defaults.update(kw)
+    return Diagnostic(code=code, severity=severity, **defaults)
+
+
+class TestDiagnostic:
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            _diag(severity="fatal")
+
+    def test_render_contains_all_parts(self):
+        text = _diag().render()
+        assert "error[RACE01] races:" in text
+        assert "tile=(0, 1, 2)" in text
+        assert "invariant: D^S subset" in text
+        assert "fix: add the dependence" in text
+
+    def test_render_minimal(self):
+        d = Diagnostic(code="DL01", severity=WARNING, pass_name="deadlock",
+                       message="m")
+        assert d.render() == "warning[DL01] deadlock: m"
+
+    def test_to_dict_jsonable(self):
+        d = _diag(subject=(("tile", (0, 1)), ("count", 3)))
+        blob = json.dumps(d.to_dict())
+        back = json.loads(blob)
+        assert back["subject"]["tile"] == [0, 1]
+        assert back["subject"]["count"] == 3
+        assert back["code"] == "RACE01"
+
+    def test_subject_dict(self):
+        assert _diag().subject_dict() == {"tile": (0, 1, 2),
+                                         "ds": (0, 1, 1)}
+
+
+class TestAnalysisReport:
+    def test_empty_report_is_ok(self):
+        rep = AnalysisReport()
+        assert rep.ok
+        assert rep.errors == [] and rep.warnings == []
+        assert "clean" in rep.render_text()
+
+    def test_error_flips_ok_warning_does_not(self):
+        rep = AnalysisReport()
+        rep.add(_diag(severity=WARNING))
+        assert rep.ok
+        rep.add(_diag(code="HALO01"))
+        assert not rep.ok
+        assert len(rep.errors) == 1 and len(rep.warnings) == 1
+
+    def test_by_code_and_codes(self):
+        rep = AnalysisReport()
+        rep.extend([_diag(code="DL01"), _diag(code="RACE01"),
+                    _diag(code="DL01", severity=INFO)])
+        assert rep.codes() == ["DL01", "RACE01", "DL01"]
+        assert len(rep.by_code("DL01")) == 2
+
+    def test_mark_pass_deduplicates(self):
+        rep = AnalysisReport()
+        rep.mark_pass("races")
+        rep.mark_pass("races")
+        rep.mark_pass("bounds")
+        assert rep.passes_run == ["races", "bounds"]
+
+    def test_json_round_trip(self):
+        rep = AnalysisReport(meta={"subject": "unit", "tiles": 12})
+        rep.add(_diag())
+        rep.mark_pass("races")
+        back = json.loads(rep.to_json())
+        assert back["ok"] is False
+        assert back["counts"] == {"error": 1, "warning": 0, "total": 1}
+        assert back["passes"] == ["races"]
+        assert back["meta"]["subject"] == "unit"
+        assert back["diagnostics"][0]["code"] == "RACE01"
+
+    def test_render_text_counts_line(self):
+        rep = AnalysisReport()
+        rep.add(_diag())
+        rep.add(_diag(severity=WARNING))
+        assert "1 error(s), 1 warning(s)" in rep.render_text()
