@@ -1,0 +1,76 @@
+"""Translation-validation overhead guard.
+
+``generate_mpi_code(..., validate=True)`` parses the emitted program
+back and re-proves it against the pipeline on every call, so its cost
+must stay the same order as emission itself or nobody will leave the
+flag on.  This benchmark pins that: across the three paper apps on
+mid-size configurations, the full four-artifact ``transval_report``
+must finish within a generous absolute budget, and the MPI-only
+``validate=True`` guard must cost less than a fixed multiple of plain
+emission.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.transval import transval_report
+from repro.apps import adi, jacobi, sor
+from repro.codegen.parallel import generate_mpi_code
+
+#: Absolute ceiling for one full four-artifact validation run.
+REPORT_BUDGET_S = 5.0
+
+#: validate=True may cost at most this multiple of plain emission.
+GUARD_MULTIPLE = 25.0
+
+#: Timing rounds; the minimum is compared against the budget.
+ROUNDS = 3
+
+CONFIGS = [
+    ("sor", sor.app(24, 36), sor.h_nonrectangular(4, 6, 6), 2),
+    ("jacobi", jacobi.app(12, 16, 16), jacobi.h_nonrectangular(4, 4, 4), 0),
+    ("adi", adi.app(12, 16), adi.h_nr1(4, 4, 4), 0),
+]
+
+
+@pytest.mark.parametrize("name,app,h,m", CONFIGS,
+                         ids=[c[0] for c in CONFIGS])
+def test_bench_transval_report(benchmark, name, app, h, m):
+    def run():
+        times = []
+        for _ in range(ROUNDS):
+            t0 = time.perf_counter()
+            report = transval_report(app.nest, h, mapping_dim=m)
+            times.append(time.perf_counter() - t0)
+            assert report.ok, report.render_text()
+        return min(times)
+
+    best = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n{name}: full transval report best={best * 1e3:.1f}ms "
+          f"(budget {REPORT_BUDGET_S:.1f}s)")
+    assert best < REPORT_BUDGET_S
+
+
+@pytest.mark.parametrize("name,app,h,m", CONFIGS,
+                         ids=[c[0] for c in CONFIGS])
+def test_bench_validate_flag_overhead(benchmark, name, app, h, m):
+    def run():
+        plain, guarded = [], []
+        for _ in range(ROUNDS):
+            t0 = time.perf_counter()
+            generate_mpi_code(app.nest, h, mapping_dim=m)
+            t1 = time.perf_counter()
+            generate_mpi_code(app.nest, h, mapping_dim=m, validate=True)
+            t2 = time.perf_counter()
+            plain.append(t1 - t0)
+            guarded.append(t2 - t1)
+        return min(guarded) / min(plain), min(plain), min(guarded)
+
+    ratio, best_p, best_g = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n{name}: emit={best_p * 1e3:.1f}ms "
+          f"emit+validate={best_g * 1e3:.1f}ms ratio={ratio:.1f}x "
+          f"(budget {GUARD_MULTIPLE:.0f}x)")
+    assert ratio < GUARD_MULTIPLE, (
+        f"validate=True costs {ratio:.1f}x plain emission, over the "
+        f"{GUARD_MULTIPLE:.0f}x budget")

@@ -14,7 +14,11 @@ compiled :class:`~repro.runtime.executor.TiledProgram` is well-formed:
   maps round-trip;
 * :mod:`repro.analysis.verifier` — the driver: legality/tile-size
   prechecks plus the passes above, accumulated into one
-  :class:`~repro.analysis.diagnostics.AnalysisReport`.
+  :class:`~repro.analysis.diagnostics.AnalysisReport`;
+* :mod:`repro.analysis.transval` — translation validation: parses the
+  *emitted* C+MPI/Python text back into a loop model and statically
+  proves loop bounds, subscripts, burned-in constants and declared
+  dependences consistent with the symbolic pipeline (TV01-TV04).
 
 Entry points: ``analyze(nest, h)`` from scratch, ``analyze_program``
 over a compiled program, ``verify_program`` as a raising guard (used by
@@ -40,6 +44,11 @@ from repro.analysis.verifier import (
     check_tiling,
     verify_program,
 )
+from repro.analysis.transval import (
+    check_declared_dependences,
+    transval_report,
+    validate_mpi_text,
+)
 
 __all__ = [
     "ERROR",
@@ -60,4 +69,7 @@ __all__ = [
     "analyze_program",
     "verify_program",
     "VerificationError",
+    "check_declared_dependences",
+    "transval_report",
+    "validate_mpi_text",
 ]

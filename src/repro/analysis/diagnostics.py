@@ -38,6 +38,18 @@ Diagnostic codes are part of the public contract:
 ``HALO04`` halo aliasing broken — a received value is unpacked
            into a different cell than the consumer's read
            resolves to
+``TV01``   emitted loop structure diverges from the symbolic
+           pipeline — bounds, strides, phase offsets or guard
+           constraints do not match FM/HNF (or the text failed
+           to parse back at all)
+``TV02``   an emitted array subscript can escape its allocated
+           LDS/array box under exact interval evaluation
+           (including halo ``off_k`` slack)
+``TV03``   a burned-in constant (``V``, ``CC``, ``D^S``,
+           ``D^m``, offsets, tags, pid mapping, schedule) does
+           not equal the ``TiledProgram`` value
+``TV04``   declared dependence matrix inconsistent with the
+           dependences derived from the statement bodies
 ========  =======================================================
 """
 

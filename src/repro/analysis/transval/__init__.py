@@ -1,0 +1,46 @@
+"""Translation validation of emitted code against the symbolic pipeline.
+
+The generators in :mod:`repro.codegen` burn the compilation result
+(loop bounds, strides, halo offsets, communication constants) into
+program text.  This package parses that text *back* into a small loop
+model and statically proves it consistent with the
+:class:`~repro.runtime.executor.TiledProgram` it was generated from:
+
+* :mod:`~repro.analysis.transval.loopir` — expression IR, rounded-affine
+  atoms, exact interval evaluation;
+* :mod:`~repro.analysis.transval.model` — neutral parsed-program
+  structures;
+* :mod:`~repro.analysis.transval.creader` /
+  :mod:`~repro.analysis.transval.pyreader` — readers for the C and
+  Python artifacts;
+* :mod:`~repro.analysis.transval.passes` — the TV01-TV04 checks;
+* :mod:`~repro.analysis.transval.validate` — orchestration
+  (:func:`transval_report`, the ``--transval`` CLI mode, and the
+  ``generate_mpi_code(..., validate=True)`` guard).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.transval.passes import (
+    PASS_CONSTANTS,
+    PASS_DEPENDENCES,
+    PASS_LOOPS,
+    PASS_SUBSCRIPTS,
+    TRANSVAL_PASSES,
+    check_declared_dependences,
+    check_mpi_text,
+    check_pygen_source,
+    check_pyseq_source,
+    check_sequential_text,
+)
+from repro.analysis.transval.validate import (
+    transval_report,
+    validate_mpi_text,
+)
+
+__all__ = [
+    "PASS_LOOPS", "PASS_SUBSCRIPTS", "PASS_CONSTANTS", "PASS_DEPENDENCES",
+    "TRANSVAL_PASSES", "check_mpi_text", "check_sequential_text",
+    "check_pyseq_source", "check_pygen_source", "check_declared_dependences",
+    "transval_report", "validate_mpi_text",
+]

@@ -1,0 +1,103 @@
+"""Orchestration: emit every artifact, run every TV pass, one report.
+
+:func:`transval_report` is the ``repro analyze --transval`` entry
+point: starting from ``(nest, h, mapping_dim)`` it freshly emits all
+four generated artifacts (C+MPI, sequential C, pyseq twin, pygen
+schedule module) and statically validates each against the symbolic
+pipeline objects it came from.  :func:`validate_mpi_text` is the
+in-line guard ``generate_mpi_code(..., validate=True)`` uses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+from repro.analysis.transval.passes import (
+    PASS_CONSTANTS,
+    PASS_DEPENDENCES,
+    PASS_LOOPS,
+    PASS_SUBSCRIPTS,
+    TRANSVAL_PASSES,
+    check_declared_dependences,
+    check_mpi_text,
+    check_pygen_source,
+    check_pyseq_source,
+    check_sequential_text,
+)
+from repro.loops.nest import LoopNest
+
+__all__ = ["transval_report", "validate_mpi_text"]
+
+
+def transval_report(nest: LoopNest, h: Any,
+                    mapping_dim: Optional[int] = None,
+                    subject: str = "") -> AnalysisReport:
+    """Translation-validate freshly emitted code for ``(nest, h)``.
+
+    Emits the C+MPI node program, the sequential tiled C text, the
+    runnable Python twin and the pygen schedule module, then runs the
+    TV01-TV04 passes.  When the tiling itself is illegal (LEG01/LEG02)
+    the legality findings are reported and emission is skipped — there
+    is no meaningful program to validate.
+    """
+    from repro.analysis.verifier import PASS_LEGALITY, check_tiling
+    from repro.codegen.parallel import generate_mpi_code
+    from repro.codegen.pygen import generate_python_node_programs
+    from repro.codegen.pyseq import generate_python_sequential
+    from repro.codegen.sequential import generate_sequential_tiled_code
+    from repro.runtime.executor import TiledProgram
+
+    report = AnalysisReport()
+    if subject:
+        report.meta["subject"] = subject
+    report.meta["h"] = [[str(x) for x in row] for row in h.rows()]
+    report.meta["dependences"] = [tuple(d) for d in nest.dependences]
+    report.extend(check_declared_dependences(nest))
+    report.mark_pass(PASS_DEPENDENCES)
+    pre = check_tiling(h, nest.dependences)
+    if pre:
+        # Unbuildable geometry: report why and stop — the emitters
+        # would raise on construction, so there is nothing to parse.
+        report.extend(pre)
+        report.mark_pass(PASS_LEGALITY)
+        return report
+    program = TiledProgram(nest, h, mapping_dim=mapping_dim)
+    report.meta["mapping_dim"] = program.dist.m
+    report.extend(check_mpi_text(
+        program, generate_mpi_code(nest, h, mapping_dim=mapping_dim)))
+    report.extend(check_sequential_text(
+        nest, h, generate_sequential_tiled_code(nest, h)))
+    report.extend(check_pyseq_source(
+        nest, h, generate_python_sequential(nest, h)))
+    report.extend(check_pygen_source(
+        program, generate_python_node_programs(
+            nest, h, mapping_dim=mapping_dim)))
+    for name in (PASS_LOOPS, PASS_SUBSCRIPTS, PASS_CONSTANTS):
+        report.mark_pass(name)
+    return report
+
+
+def validate_mpi_text(program: Any, text: str,
+                      subject: str = "") -> AnalysisReport:
+    """Guard form for ``generate_mpi_code(..., validate=True)``.
+
+    Validates the just-emitted MPI text (plus the declared dependence
+    matrix it was compiled from) and raises
+    :class:`repro.analysis.verifier.VerificationError` when any TV pass
+    finds an error-severity defect.
+    """
+    from repro.analysis.verifier import VerificationError
+
+    report = AnalysisReport()
+    if subject:
+        report.meta["subject"] = subject
+    diags: List[Diagnostic] = []
+    diags.extend(check_declared_dependences(program.nest))
+    diags.extend(check_mpi_text(program, text))
+    report.extend(diags)
+    for name in TRANSVAL_PASSES:
+        report.mark_pass(name)
+    if not report.ok:
+        raise VerificationError(report)
+    return report

@@ -37,10 +37,17 @@ from typing import Tuple
 
 from repro.apps.base import TiledApp
 from repro.linalg.ratmat import RatMat
-from repro.loops.dependence import nest_dependences, validate_dependences
+from repro.loops.dependence import validate_dependences
 from repro.loops.nest import LoopNest, Statement
 from repro.loops.reference import ArrayRef
 from repro.tiling.shapes import parallelepiped_tiling, rectangular_tiling
+
+#: Hand-declared dependence matrix (read order, deduplicated across
+#: both statements; the ``A`` reads are pure inputs and contribute no
+#: vector).  Consumed by the pipeline and cross-checked against the
+#: statement bodies by the ``TV04`` translation-validation pass.  No
+#: skewing is needed: every vector is already non-negative.
+DECLARED_DEPS = ((1, 0, 0), (1, 0, 1), (1, 1, 0))
 
 
 def init_value(array: str, cell: Tuple[int, ...]) -> float:
@@ -95,10 +102,9 @@ def original_nest(t_steps: int, n: int) -> LoopNest:
         ],
         _kernel_b,
     )
-    deps = nest_dependences([st_x, st_b])
-    validate_dependences(deps)
+    validate_dependences(DECLARED_DEPS)
     return LoopNest.rectangular(
-        "adi", [1, 1, 1], [t_steps, n, n], [st_x, st_b], deps
+        "adi", [1, 1, 1], [t_steps, n, n], [st_x, st_b], DECLARED_DEPS
     )
 
 

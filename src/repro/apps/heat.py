@@ -19,13 +19,21 @@ from typing import Tuple
 
 from repro.apps.base import TiledApp
 from repro.linalg.ratmat import RatMat
-from repro.loops.dependence import nest_dependences, validate_dependences
+from repro.loops.dependence import validate_dependences
 from repro.loops.nest import LoopNest, Statement
 from repro.loops.reference import ArrayRef
 from repro.loops.skewing import skew_nest
 from repro.tiling.shapes import parallelepiped_tiling, rectangular_tiling
 
 SKEW = RatMat([[1, 0], [1, 1]])
+
+#: Hand-declared dependence matrix of the original nest (read order);
+#: consumed by the pipeline and cross-checked against the statement
+#: bodies by the ``TV04`` translation-validation pass.
+DECLARED_DEPS = ((1, 1), (1, 0), (1, -1))
+
+#: The same matrix after skewing: ``SKEW @ d`` per column.
+DECLARED_SKEWED_DEPS = ((1, 2), (1, 1), (1, 0))
 
 #: Diffusion number (stable for c < 1/2).
 DIFFUSIVITY = 0.25
@@ -53,15 +61,19 @@ def original_nest(t_steps: int, n: int) -> LoopNest:
         ],
         _kernel,
     )
-    deps = nest_dependences([stmt])
-    validate_dependences(deps)
-    return LoopNest.rectangular("heat", [1, 1], [t_steps, n], [stmt], deps)
+    validate_dependences(DECLARED_DEPS)
+    return LoopNest.rectangular(
+        "heat", [1, 1], [t_steps, n], [stmt], DECLARED_DEPS)
 
 
 def app(t_steps: int, n: int) -> TiledApp:
     """Skewed variant (rectangular tiling becomes legal)."""
     orig = original_nest(t_steps, n)
     skewed = skew_nest(orig, SKEW)
+    if skewed.dependences != DECLARED_SKEWED_DEPS:
+        raise ValueError(
+            f"declared skewed dependences {DECLARED_SKEWED_DEPS} do not "
+            f"match SKEW @ DECLARED_DEPS = {skewed.dependences}")
     return TiledApp(
         name=f"heat-T{t_steps}-N{n}",
         nest=skewed,

@@ -25,7 +25,7 @@ from typing import Tuple
 
 from repro.apps.base import TiledApp
 from repro.linalg.ratmat import RatMat
-from repro.loops.dependence import nest_dependences, validate_dependences
+from repro.loops.dependence import validate_dependences
 from repro.loops.nest import LoopNest, Statement
 from repro.loops.reference import ArrayRef
 from repro.loops.skewing import skew_nest
@@ -33,6 +33,17 @@ from repro.tiling.shapes import parallelepiped_tiling, rectangular_tiling
 
 #: The paper's skewing matrix (from Xue [15]).
 SKEW = RatMat([[1, 0, 0], [1, 1, 0], [2, 0, 1]])
+
+#: Hand-declared dependence matrix of the original nest, one column per
+#: unique flow dependence in statement read order (write offset minus
+#: read offset).  The pipeline consumes THIS tuple; the ``TV04``
+#: translation-validation pass re-derives the vectors from the
+#: statement bodies and flags any drift between the two.
+DECLARED_DEPS = ((0, 1, 0), (0, 0, 1), (1, -1, 0), (1, 0, -1), (1, 0, 0))
+
+#: The same matrix after skewing: ``SKEW @ d`` per column.
+DECLARED_SKEWED_DEPS = (
+    (0, 1, 0), (0, 0, 1), (1, 0, 2), (1, 1, 1), (1, 1, 2))
 
 #: Relaxation factor used in kernels (any 0 < w < 2 works numerically).
 OMEGA = 0.9
@@ -69,15 +80,19 @@ def original_nest(m: int, n: int) -> LoopNest:
         ],
         _kernel,
     )
-    deps = nest_dependences([stmt])
-    validate_dependences(deps)
-    return LoopNest.rectangular("sor", [1, 1, 1], [m, n, n], [stmt], deps)
+    validate_dependences(DECLARED_DEPS)
+    return LoopNest.rectangular(
+        "sor", [1, 1, 1], [m, n, n], [stmt], DECLARED_DEPS)
 
 
 def app(m: int, n: int) -> TiledApp:
     """SOR instance, skewed and ready for (rectangular or not) tiling."""
     orig = original_nest(m, n)
     skewed = skew_nest(orig, SKEW)
+    if skewed.dependences != DECLARED_SKEWED_DEPS:
+        raise ValueError(
+            f"declared skewed dependences {DECLARED_SKEWED_DEPS} do not "
+            f"match SKEW @ DECLARED_DEPS = {skewed.dependences}")
     return TiledApp(
         name=f"sor-M{m}-N{n}",
         nest=skewed,

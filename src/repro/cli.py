@@ -193,13 +193,26 @@ def cmd_analyze(args) -> int:
     try:
         report = analyze(nest, h, mapping_dim=app.mapping_dim,
                          subject=subject)
+        if args.transval and report.ok:
+            # Translation validation: freshly emit all four artifacts
+            # and statically compare them against the pipeline.  Only
+            # meaningful on buildable geometry — on a failing base
+            # report the emitters have nothing trustworthy to produce.
+            from repro.analysis.transval import transval_report
+            tv = transval_report(nest, h, mapping_dim=app.mapping_dim,
+                                 subject=subject)
+            report.extend(tv.diagnostics)
+            for name in tv.passes_run:
+                report.mark_pass(name)
     except ValueError as exc:
         # Defects outside the verifier's pass coverage (e.g. an empty
         # tile space) still surface as a failure, not a crash.
         print(f"analysis aborted: {exc}", file=sys.stderr)
         return 1
     print(report.to_json() if args.json else report.render_text())
-    return 0 if report.ok else 1
+    failed = bool(report.errors) or (args.fail_on_warn
+                                     and bool(report.warnings))
+    return 1 if failed else 0
 
 
 def cmd_figure(args) -> int:
@@ -266,6 +279,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_ana.add_argument("--unskewed", action="store_true",
                        help="check the tiling against the original "
                             "(unskewed) nest instead of the skewed one")
+    p_ana.add_argument("--transval", action="store_true",
+                       help="also translation-validate freshly emitted "
+                            "C+MPI/Python code against the symbolic "
+                            "pipeline (TV01-TV04 passes)")
+    p_ana.add_argument("--fail-on-warn", action="store_true",
+                       help="exit nonzero on warning diagnostics too, "
+                            "not only on errors")
     p_ana.set_defaults(fn=cmd_analyze)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")

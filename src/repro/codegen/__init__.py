@@ -11,10 +11,12 @@
 The *executable* twin of the parallel emitter is
 :mod:`repro.runtime.executor`, which runs the same schedule on the
 virtual cluster; tests keep the two consistent by checking the emitted
-text against the executor's compile-time constants.
+text against the executor's compile-time constants.  Beyond those spot
+checks, :mod:`repro.analysis.transval` parses the emitted text back
+into a loop model and statically re-proves it against the pipeline —
+``generate_mpi_code(..., validate=True)`` runs that proof inline.
 """
 
-from repro.codegen.sequential import generate_sequential_tiled_code
 from repro.codegen.parallel import generate_mpi_code
 from repro.codegen.pygen import (
     generate_python_node_programs,
@@ -24,6 +26,7 @@ from repro.codegen.pyseq import (
     generate_python_sequential,
     run_generated_sequential,
 )
+from repro.codegen.sequential import generate_sequential_tiled_code
 
 __all__ = [
     "generate_sequential_tiled_code",

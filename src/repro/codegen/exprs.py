@@ -9,7 +9,9 @@ numerators — the same pitfall every polyhedral code generator documents).
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Sequence, Tuple
+from typing import List, Sequence
+
+from repro.polyhedra.fourier_motzkin import LoopBound
 
 C_PROLOGUE = """\
 /* Exact integer floor/ceil division (C '/' truncates toward zero). */
@@ -32,7 +34,7 @@ def affine_to_c(coeffs: Sequence[Fraction], const: Fraction,
     den = const.denominator
     for c in coeffs:
         den = den * c.denominator // _gcd(den, c.denominator)
-    terms = []
+    terms: List[str] = []
     for c, name in zip(coeffs, names):
         k = int(c * den)
         if k == 0:
@@ -53,7 +55,7 @@ def affine_to_c(coeffs: Sequence[Fraction], const: Fraction,
     return f"{fn}({num}, {den})"
 
 
-def bound_to_c(bound, names: Sequence[str], kind: str) -> str:
+def bound_to_c(bound: LoopBound, names: Sequence[str], kind: str) -> str:
     """Render a :class:`repro.polyhedra.fourier_motzkin.LoopBound` side.
 
     ``kind='lower'`` gives ``max(ceild(...), ...)``; ``kind='upper'``

@@ -12,17 +12,28 @@ the executable pipeline.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.codegen.exprs import C_PROLOGUE
 from repro.codegen.sequential import _indent, _ref_to_c
 from repro.linalg.ratmat import RatMat
 from repro.loops.nest import LoopNest
 
+if TYPE_CHECKING:
+    from repro.distribution.communication import CommunicationSpec
+    from repro.tiling.ttis import TTIS
+
 
 def generate_mpi_code(nest: LoopNest, h: RatMat,
-                      mapping_dim: Optional[int] = None) -> str:
-    """Full SPMD C+MPI program text for ``nest`` tiled by ``h``."""
+                      mapping_dim: Optional[int] = None,
+                      validate: bool = False) -> str:
+    """Full SPMD C+MPI program text for ``nest`` tiled by ``h``.
+
+    With ``validate=True`` the emitted text is parsed back and
+    translation-validated against the symbolic pipeline (TV01-TV04);
+    :class:`repro.analysis.verifier.VerificationError` is raised when
+    any pass finds an error-severity defect.
+    """
     # Reuse the executable pipeline so text and behaviour cannot drift.
     from repro.runtime.executor import TiledProgram
 
@@ -135,9 +146,9 @@ def generate_mpi_code(nest: LoopNest, h: RatMat,
         ], depth)
         depth += 1
         inner += _indent([f"long x{k} = (jp{k} - ph{k}) / {ck};"], depth)
-    reads = []
+    reads: List[str] = []
     for si, s in enumerate(nest.statements):
-        call_args = []
+        call_args: List[str] = []
         for ri, r in enumerate(s.reads):
             d = prog._read_deps[si][ri]
             if d is None:
@@ -168,23 +179,29 @@ def generate_mpi_code(nest: LoopNest, h: RatMat,
     ]
     out += _indent(body, 1)
     out.append("}")
-    return "\n".join(out) + "\n"
+    text = "\n".join(out) + "\n"
+    if validate:
+        from repro.analysis.transval import validate_mpi_text
+        validate_mpi_text(prog, text,
+                          subject=f"generate_mpi_code({nest.name!r})")
+    return text
 
 
-def _tag(dm) -> str:
+def _tag(dm: Sequence[int]) -> str:
     return "_".join(str(x).replace("-", "m") for x in dm)
 
 
-def _cvec(v) -> str:
+def _cvec(v: Sequence[int]) -> str:
     return "(int[]){" + ", ".join(map(str, v)) + "}"
 
 
-def _pack_loops(ttis, comm, m: int, direction, unpack: bool,
+def _pack_loops(ttis: TTIS, comm: CommunicationSpec, m: int,
+                direction: Sequence[int], unpack: bool,
                 narr: int) -> List[str]:
     """The §3.2 pack/unpack loop nest over the communication region."""
     n = ttis.n
     lbs = comm.pack_lower_bounds(direction)
-    lines = []
+    lines: List[str] = []
     depth = 0
     for k in range(n):
         ck = ttis.c[k]

@@ -9,24 +9,26 @@ boundary min/max correction against the original space.
 
 from __future__ import annotations
 
+from math import gcd
 from typing import List
 
 from repro.codegen.exprs import C_PROLOGUE, bound_to_c
 from repro.linalg.ratmat import RatMat
 from repro.loops.nest import LoopNest
+from repro.loops.reference import ArrayRef
 from repro.tiling.transform import TilingTransformation
 
 
 def _indent(lines: List[str], depth: int) -> List[str]:
-    return ["    " * depth + l for l in lines]
+    return ["    " * depth + line for line in lines]
 
 
-def _ref_to_c(ref, n: int) -> str:
+def _ref_to_c(ref: ArrayRef, n: int) -> str:
     """Render ``A[F j + f]`` with one bracket per array dimension."""
     fm = ref.access_matrix().to_int_rows()
-    dims = []
+    dims: List[str] = []
     for i in range(len(ref.offset)):
-        terms = []
+        terms: List[str] = []
         for j in range(n):
             k = fm[i][j]
             if k == 1:
@@ -66,7 +68,7 @@ def generate_sequential_tiled_code(nest: LoopNest, h: RatMat) -> str:
         depth += 1
     # Tile origin P jS.
     p = tiling.p.to_int_rows()
-    origin = []
+    origin: List[str] = []
     for i in range(n):
         terms = [f"{p[i][j]}*{ts_names[j]}" for j in range(n) if p[i][j]]
         origin.append(" + ".join(terms) if terms else "0")
@@ -91,7 +93,6 @@ def generate_sequential_tiled_code(nest: LoopNest, h: RatMat) -> str:
     # Global point j = P jS + P' j' and boundary guard.
     ppd = ttis.p_prime
     den = 1
-    from math import gcd
     for row in ppd.rows():
         for x in row:
             den = den * x.denominator // gcd(den, x.denominator)
@@ -101,7 +102,7 @@ def generate_sequential_tiled_code(nest: LoopNest, h: RatMat) -> str:
         expr = " + ".join(terms) if terms else "0"
         out += _indent(
             [f"long j{i} = o{i} + ({expr}) / {den};"], depth)
-    guards = []
+    guards: List[str] = []
     for c in nest.domain.normalized().constraints:
         dd = 1
         for x in c.a:

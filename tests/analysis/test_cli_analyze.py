@@ -63,3 +63,55 @@ class TestFailingAnalysis:
         with pytest.raises(SystemExit):
             main(["analyze", "--app", "sor", "-s", "8", "12",
                   "-t", "2", "3", "3", "--shape", "diamond"])
+
+
+class TestTransvalFlag:
+    def test_transval_adds_tv_passes_and_stays_clean(self, capsys):
+        rc = main(["analyze", "--app", "sor", "-s", "8", "12",
+                   "-t", "2", "3", "4", "--shape", "nonrect", "--transval"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "clean: no diagnostics" in out
+        for p in ("transval-dependences", "transval-loops",
+                  "transval-subscripts", "transval-constants"):
+            assert p in out
+
+    def test_transval_json_lists_passes(self, capsys):
+        rc = main(["analyze", "--app", "adi", "-s", "4", "5",
+                   "-t", "2", "3", "3", "--shape", "rect",
+                   "--transval", "--json"])
+        blob = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert blob["ok"] is True
+        assert "transval-constants" in blob["passes"]
+
+    def test_transval_skipped_on_failing_base_report(self, capsys):
+        # unskewed sor + rect tiling fails legality; the TV passes must
+        # not run (there is no buildable program to emit and parse)
+        rc = main(["analyze", "--app", "sor", "-s", "8", "12",
+                   "-t", "2", "3", "3", "--shape", "rect", "--unskewed",
+                   "--transval"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "error[LEG01]" in out
+        assert "transval-loops" not in out
+
+
+class TestFailOnWarn:
+    def test_warning_config_fails_with_flag(self, capsys):
+        # sor rect carries a DL03 warning: rc flips from 0 to 1
+        argv = ["analyze", "--app", "sor", "-s", "8", "12",
+                "-t", "2", "3", "3", "--shape", "rect"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        rc = main(argv + ["--fail-on-warn"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "warning[DL03]" in out
+
+    def test_clean_config_unaffected_by_flag(self, capsys):
+        rc = main(["analyze", "--app", "sor", "-s", "8", "12",
+                   "-t", "2", "3", "4", "--shape", "nonrect",
+                   "--fail-on-warn"])
+        assert rc == 0
+        assert "clean: no diagnostics" in capsys.readouterr().out

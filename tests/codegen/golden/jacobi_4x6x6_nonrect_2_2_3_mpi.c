@@ -1,0 +1,171 @@
+/* Exact integer floor/ceil division (C '/' truncates toward zero). */
+static inline long floord(long a, long b)
+{ return a / b - (((a % b) != 0) && ((a ^ b) < 0)); }
+static inline long ceild(long a, long b)
+{ return a / b + (((a % b) != 0) && ((a ^ b) > 0)); }
+
+/* Data-parallel MPI code for 'jacobi_skewed'
+ *   H tile volume : 12
+ *   V (TTIS box)  : (4, 2, 3)
+ *   strides c_k   : (1, 2, 1)
+ *   mapping dim m : 0
+ *   CC vector     : (2, 0, 1)
+ *   LDS offsets   : (4, 1, 2)
+ *   D^S           : ((0, 0, 1), (0, 1, 0), (0, 1, 1), (1, 0, 0), (1, 0, 1), (1, 1, 0), (1, 1, 1))
+ *   D^m           : ((0, 1), (1, 0), (1, 1))
+ */
+#include <mpi.h>
+
+#define OFF0 4
+#define OFF1 1
+#define OFF2 2
+#define NTILES ntiles  /* chain length of this rank */
+#define LDS_CELLS ((OFF0 + NTILES*4) * (OFF1 + 1) * (OFF2 + 3))
+
+/* map(j', t): LDS cell of TTIS point j' in chain tile t (Table 1). */
+#define MAP(jp0, jp1, jp2, t) (floord(t*4 + jp0, 1) + OFF0) , (floord(jp1, 2) + OFF1) , (floord(jp2, 1) + OFF2)  /* one index per LDS dim */
+
+void RECEIVE(int *pid, long tS, double *LA, double *buf) {
+    /* tile dependence d^S = (0, 0, 1), processor direction d^m = (0, 1) */
+    if (valid_pred(pid, tS, (long[]){0, 0, 1}) && is_minsucc(...)) {
+        MPI_Recv(buf, count, MPI_DOUBLE, rank_of_pid_minus((int[]){0, 1}), TAG_0_1, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+        long count = 0;
+    for (long jp0 = l0p; jp0 <= u0p; jp0 += 1) {
+        for (long jp1 = l1p; jp1 <= u1p; jp1 += 2) {
+            for (long jp2 = max(l2p, 1); jp2 <= u2p; jp2 += 1) {
+                LA[MAP(jp0, jp1, jp2, tS) - (0*4, 0*1, 1*3)] = buf[count++];  /* halo slot */
+            }
+        }
+    }
+    }
+    /* tile dependence d^S = (0, 1, 0), processor direction d^m = (1, 0) */
+    if (valid_pred(pid, tS, (long[]){0, 1, 0}) && is_minsucc(...)) {
+        MPI_Recv(buf, count, MPI_DOUBLE, rank_of_pid_minus((int[]){1, 0}), TAG_1_0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+        long count = 0;
+    for (long jp0 = l0p; jp0 <= u0p; jp0 += 1) {
+        for (long jp1 = l1p; jp1 <= u1p; jp1 += 2) {
+            for (long jp2 = l2p; jp2 <= u2p; jp2 += 1) {
+                LA[MAP(jp0, jp1, jp2, tS) - (0*4, 1*1, 0*3)] = buf[count++];  /* halo slot */
+            }
+        }
+    }
+    }
+    /* tile dependence d^S = (0, 1, 1), processor direction d^m = (1, 1) */
+    if (valid_pred(pid, tS, (long[]){0, 1, 1}) && is_minsucc(...)) {
+        MPI_Recv(buf, count, MPI_DOUBLE, rank_of_pid_minus((int[]){1, 1}), TAG_1_1, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+        long count = 0;
+    for (long jp0 = l0p; jp0 <= u0p; jp0 += 1) {
+        for (long jp1 = l1p; jp1 <= u1p; jp1 += 2) {
+            for (long jp2 = max(l2p, 1); jp2 <= u2p; jp2 += 1) {
+                LA[MAP(jp0, jp1, jp2, tS) - (0*4, 1*1, 1*3)] = buf[count++];  /* halo slot */
+            }
+        }
+    }
+    }
+    /* tile dependence d^S = (1, 0, 1), processor direction d^m = (0, 1) */
+    if (valid_pred(pid, tS, (long[]){1, 0, 1}) && is_minsucc(...)) {
+        MPI_Recv(buf, count, MPI_DOUBLE, rank_of_pid_minus((int[]){0, 1}), TAG_0_1, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+        long count = 0;
+    for (long jp0 = l0p; jp0 <= u0p; jp0 += 1) {
+        for (long jp1 = l1p; jp1 <= u1p; jp1 += 2) {
+            for (long jp2 = max(l2p, 1); jp2 <= u2p; jp2 += 1) {
+                LA[MAP(jp0, jp1, jp2, tS) - (1*4, 0*1, 1*3)] = buf[count++];  /* halo slot */
+            }
+        }
+    }
+    }
+    /* tile dependence d^S = (1, 1, 0), processor direction d^m = (1, 0) */
+    if (valid_pred(pid, tS, (long[]){1, 1, 0}) && is_minsucc(...)) {
+        MPI_Recv(buf, count, MPI_DOUBLE, rank_of_pid_minus((int[]){1, 0}), TAG_1_0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+        long count = 0;
+    for (long jp0 = l0p; jp0 <= u0p; jp0 += 1) {
+        for (long jp1 = l1p; jp1 <= u1p; jp1 += 2) {
+            for (long jp2 = l2p; jp2 <= u2p; jp2 += 1) {
+                LA[MAP(jp0, jp1, jp2, tS) - (1*4, 1*1, 0*3)] = buf[count++];  /* halo slot */
+            }
+        }
+    }
+    }
+    /* tile dependence d^S = (1, 1, 1), processor direction d^m = (1, 1) */
+    if (valid_pred(pid, tS, (long[]){1, 1, 1}) && is_minsucc(...)) {
+        MPI_Recv(buf, count, MPI_DOUBLE, rank_of_pid_minus((int[]){1, 1}), TAG_1_1, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+        long count = 0;
+    for (long jp0 = l0p; jp0 <= u0p; jp0 += 1) {
+        for (long jp1 = l1p; jp1 <= u1p; jp1 += 2) {
+            for (long jp2 = max(l2p, 1); jp2 <= u2p; jp2 += 1) {
+                LA[MAP(jp0, jp1, jp2, tS) - (1*4, 1*1, 1*3)] = buf[count++];  /* halo slot */
+            }
+        }
+    }
+    }
+}
+
+void SEND(int *pid, long tS, double *LA, double *buf) {
+    /* processor dependence d^m = (0, 1) */
+    if (exists_valid_successor(pid, tS)) {
+        long count = 0;
+    for (long jp0 = l0p; jp0 <= u0p; jp0 += 1) {
+        for (long jp1 = l1p; jp1 <= u1p; jp1 += 2) {
+            for (long jp2 = max(l2p, 1); jp2 <= u2p; jp2 += 1) {
+                buf[count++] = LA[MAP(jp0, jp1, jp2, tS)];
+            }
+        }
+    }
+        MPI_Send(buf, count, MPI_DOUBLE, rank_of_pid_plus((int[]){0, 1}), TAG_0_1, MPI_COMM_WORLD);
+    }
+    /* processor dependence d^m = (1, 0) */
+    if (exists_valid_successor(pid, tS)) {
+        long count = 0;
+    for (long jp0 = l0p; jp0 <= u0p; jp0 += 1) {
+        for (long jp1 = l1p; jp1 <= u1p; jp1 += 2) {
+            for (long jp2 = l2p; jp2 <= u2p; jp2 += 1) {
+                buf[count++] = LA[MAP(jp0, jp1, jp2, tS)];
+            }
+        }
+    }
+        MPI_Send(buf, count, MPI_DOUBLE, rank_of_pid_plus((int[]){1, 0}), TAG_1_0, MPI_COMM_WORLD);
+    }
+    /* processor dependence d^m = (1, 1) */
+    if (exists_valid_successor(pid, tS)) {
+        long count = 0;
+    for (long jp0 = l0p; jp0 <= u0p; jp0 += 1) {
+        for (long jp1 = l1p; jp1 <= u1p; jp1 += 2) {
+            for (long jp2 = max(l2p, 1); jp2 <= u2p; jp2 += 1) {
+                buf[count++] = LA[MAP(jp0, jp1, jp2, tS)];
+            }
+        }
+    }
+        MPI_Send(buf, count, MPI_DOUBLE, rank_of_pid_plus((int[]){1, 1}), TAG_1_1, MPI_COMM_WORLD);
+    }
+}
+
+int main(int argc, char **argv) {
+    MPI_Init(&argc, &argv);
+    int rank; MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    int pid[2]; pid_of_rank(rank, pid);  /* (n-1)-dim processor mesh */
+    double *LA = calloc(LDS_CELLS, sizeof(double));
+    double *buf = malloc(MAX_MSG * sizeof(double));
+    for (long tS = lS0; tS <= uS0; tS++) {
+        if (!tile_valid(pid, tS)) continue;
+        RECEIVE(pid, tS, LA, buf);
+        long ph0 = 0;
+        for (long jp0 = ((ph0 % 1) + 1) % 1; jp0 < 4; jp0 += 1) {
+            long x0 = (jp0 - ph0) / 1;
+            long ph1 = 1*x0;
+            for (long jp1 = ((ph1 % 2) + 2) % 2; jp1 < 2; jp1 += 2) {
+                long x1 = (jp1 - ph1) / 2;
+                long ph2 = 0;
+                for (long jp2 = ((ph2 % 1) + 1) % 1; jp2 < 3; jp2 += 1) {
+                    long x2 = (jp2 - ph2) / 1;
+                    if (inside_original_space(jp, pid, tS)) {
+                        LA_A[MAP(jp0, jp1, jp2, t)] = F_A(LA_A[MAP(jp0 - 1, jp1 - 1, jp2 - 1, t)], LA_A[MAP(jp0, jp1 - 2, jp2 - 1, t)], LA_A[MAP(jp0 - 2, jp1, jp2 - 1, t)], LA_A[MAP(jp0 - 1, jp1 - 1, jp2 - 2, t)], LA_A[MAP(jp0 - 1, jp1 - 1, jp2, t)]);
+                    }
+                }
+            }
+        }
+        SEND(pid, tS, LA, buf);
+    }
+    writeback_to_global_DS(LA);  /* loc^-1 of Table 2 */
+    MPI_Finalize();
+    return 0;
+}
