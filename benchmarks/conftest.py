@@ -14,6 +14,13 @@ import pytest
 
 FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="smoke mode: tiny configurations, correctness checks "
+             "only, no speedup floors (used by CI)")
+
 #: Tile-size sweeps (chain-dimension factor) per density.
 SOR_Z = (4, 6, 8, 12, 16, 24, 32, 48) if FULL else (4, 8, 16, 32)
 JACOBI_X = (1, 2, 3, 4, 6, 8, 12, 16) if FULL else (2, 4, 8, 16)

@@ -1,0 +1,126 @@
+"""Dense execution engine speedup guard.
+
+The dense engine exists to make data-mode runs cheap; this benchmark
+pins that claim end-to-end: on each app, ``execute_dense`` must beat
+the sparse per-cell ``execute`` by at least :data:`SPEEDUP_FLOOR` while
+producing **bitwise** identical arrays and identical simulated stats.
+
+Sizing.  The sparse engine costs roughly half a millisecond per
+iteration point, so the paper's largest configurations (tens of
+millions of points — e.g. SOR 200x400x400) would take *hours* per
+sparse run.  The default configurations here are the largest ones the
+sparse baseline finishes in seconds; the measured speedup only grows
+with size, so the >= 10x floor transfers a fortiori to the paper
+scale.  With ``REPRO_BENCH_FULL=1`` the dense engine additionally runs
+a paper-largest configuration end-to-end and reports the speedup
+against a sparse baseline *extrapolated* from the measured per-point
+rate (clearly labelled as such).  With ``--quick`` (CI smoke) the
+configurations shrink to seconds-total and only correctness is
+asserted.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.apps import adi, jacobi, sor
+from repro.runtime import (
+    ClusterSpec,
+    DistributedRun,
+    TiledProgram,
+    arrays_match,
+    dense_to_cells,
+)
+
+FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
+
+#: Minimum end-to-end dense-vs-sparse speedup on the default configs.
+SPEEDUP_FLOOR = 10.0
+
+# (app, tiling, mapping_dim) builders per mode.  Defaults are the
+# largest configurations the sparse engine finishes in seconds.
+DEFAULT_CONFIGS = {
+    "sor": lambda: (sor.app(20, 40), sor.h_nonrectangular(5, 8, 8), 2),
+    "jacobi": lambda: (jacobi.app(10, 30, 30),
+                       jacobi.h_rectangular(5, 6, 6), 0),
+    "adi": lambda: (adi.app(12, 32), adi.h_rectangular(4, 8, 8), 0),
+}
+QUICK_CONFIGS = {
+    "sor": lambda: (sor.app(6, 9), sor.h_nonrectangular(2, 3, 4), 2),
+    "jacobi": lambda: (jacobi.app(4, 6, 6),
+                       jacobi.h_rectangular(2, 3, 3), 0),
+    "adi": lambda: (adi.app(5, 8), adi.h_rectangular(2, 3, 3), 0),
+}
+# Paper-largest spaces (Figures 5, 7, 9) for the FULL extrapolation.
+PAPER_CONFIGS = {
+    "sor": lambda: (sor.app(200, 400),
+                    sor.h_nonrectangular(26, 76, 8), 2),
+    "jacobi": lambda: (jacobi.app(100, 200, 200),
+                       jacobi.h_nonrectangular(8, 50, 50), 0),
+    "adi": lambda: (adi.app(200, 256), adi.h_nr1(16, 64, 64), 0),
+}
+
+
+def _timed_pair(app, h, mdim):
+    """Run both engines end-to-end; cross-check; return timings."""
+    prog = TiledProgram(app.nest, h, mapping_dim=mdim)
+    run = DistributedRun(prog, ClusterSpec())
+    t0 = time.perf_counter()
+    arrays, sparse_stats = run.execute(app.init_value)
+    t_sparse = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fields, dense_stats = run.execute_dense(app.init_value)
+    t_dense = time.perf_counter() - t0
+    # The dense engine is only a speedup if it is also *right*: bitwise
+    # identical arrays and the identical simulated measurement.
+    assert arrays_match(dense_to_cells(fields), arrays, tol=0.0)
+    assert dense_stats == sparse_stats
+    return prog, t_sparse, t_dense
+
+
+@pytest.mark.parametrize("name", sorted(DEFAULT_CONFIGS))
+def test_dense_engine_speedup(name, request):
+    quick = request.config.getoption("--quick")
+    configs = QUICK_CONFIGS if quick else DEFAULT_CONFIGS
+    app, h, mdim = configs[name]()
+    prog, t_sparse, t_dense = _timed_pair(app, h, mdim)
+    points = prog.total_points()
+    speedup = t_sparse / t_dense if t_dense > 0 else float("inf")
+    print(f"\n{name}: {points} points, sparse {t_sparse:.3f}s "
+          f"({t_sparse / points * 1e6:.1f} us/pt), dense "
+          f"{t_dense:.3f}s -> speedup {speedup:.1f}x")
+    if not quick:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"{name}: dense engine only {speedup:.1f}x faster than "
+            f"sparse (floor {SPEEDUP_FLOOR}x)")
+
+
+@pytest.mark.skipif(not FULL, reason="paper-largest run; set "
+                                     "REPRO_BENCH_FULL=1")
+@pytest.mark.parametrize("name", sorted(PAPER_CONFIGS))
+def test_dense_engine_paper_largest(name):
+    # Calibrate the sparse per-point rate on the default config, where
+    # a sparse run is affordable, then run the paper-largest
+    # configuration on the dense engine only and compare against the
+    # extrapolated sparse cost.  (A real sparse run at this size takes
+    # hours; the rate is flat in size, so the extrapolation is fair —
+    # and conservative, since dict pressure grows with the space.)
+    app, h, mdim = DEFAULT_CONFIGS[name]()
+    prog, t_sparse, _ = _timed_pair(app, h, mdim)
+    rate = t_sparse / prog.total_points()
+
+    app, h, mdim = PAPER_CONFIGS[name]()
+    prog = TiledProgram(app.nest, h, mapping_dim=mdim)
+    run = DistributedRun(prog, ClusterSpec())
+    t0 = time.perf_counter()
+    fields, _stats = run.execute_dense(app.init_value)
+    t_dense = time.perf_counter() - t0
+    points = prog.total_points()
+    t_sparse_est = rate * points
+    speedup = t_sparse_est / t_dense
+    print(f"\n{name} (paper-largest): {points} points, dense "
+          f"{t_dense:.1f}s, sparse EXTRAPOLATED {t_sparse_est:.0f}s "
+          f"(measured {rate * 1e6:.1f} us/pt) -> est. speedup "
+          f"{speedup:.0f}x")
+    assert speedup >= SPEEDUP_FLOOR

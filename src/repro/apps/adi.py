@@ -75,6 +75,18 @@ def _kernel_b(_j, vals):
     return b_c - (a * a) / b_jm - (a * a) / b_im
 
 
+def _kernel_x_np(_pts, vals):
+    # Vectorized twin of ``_kernel_x`` (same operation order).
+    x_c, x_jm, b_jm, x_im, b_im, a = vals
+    return x_c + x_jm * a / b_jm - x_im * a / b_im
+
+
+def _kernel_b_np(_pts, vals):
+    # Vectorized twin of ``_kernel_b`` (same operation order).
+    b_c, b_jm, b_im, a = vals
+    return b_c - (a * a) / b_jm - (a * a) / b_im
+
+
 #: Access matrix projecting iteration (t,i,j) onto array index (i,j).
 _PROJ_IJ = RatMat([[0, 1, 0], [0, 0, 1]])
 
@@ -91,6 +103,7 @@ def original_nest(t_steps: int, n: int) -> LoopNest:
             ArrayRef.of("A", (0, 0), _PROJ_IJ),
         ],
         _kernel_x,
+        _kernel_x_np,
     )
     st_b = Statement.of(
         ArrayRef.of("B", (0, 0, 0)),
@@ -101,6 +114,7 @@ def original_nest(t_steps: int, n: int) -> LoopNest:
             ArrayRef.of("A", (0, 0), _PROJ_IJ),
         ],
         _kernel_b,
+        _kernel_b_np,
     )
     validate_dependences(DECLARED_DEPS)
     return LoopNest.rectangular(

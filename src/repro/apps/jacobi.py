@@ -55,6 +55,12 @@ def _kernel(_j, vals):
     return COEF * (vals[0] + vals[1] + vals[2] + vals[3] + vals[4])
 
 
+def _kernel_np(_pts, vals):
+    # Vectorized twin of ``_kernel``: same expression, same operation
+    # order, so per-element results are bitwise identical.
+    return COEF * (vals[0] + vals[1] + vals[2] + vals[3] + vals[4])
+
+
 def original_nest(t_steps: int, i_size: int, j_size: int) -> LoopNest:
     a = "A"
     stmt = Statement.of(
@@ -67,6 +73,7 @@ def original_nest(t_steps: int, i_size: int, j_size: int) -> LoopNest:
             ArrayRef.of(a, (-1, 0, 1)),
         ],
         _kernel,
+        _kernel_np,
     )
     validate_dependences(DECLARED_DEPS)
     return LoopNest.rectangular(

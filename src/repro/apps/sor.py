@@ -66,6 +66,13 @@ def _kernel(_j, vals):
         + (1.0 - OMEGA) * vals[4]
 
 
+def _kernel_np(_pts, vals):
+    # Vectorized twin of ``_kernel``: same expression, same operation
+    # order, so per-element results are bitwise identical.
+    return (OMEGA / 4.0) * (vals[0] + vals[1] + vals[2] + vals[3]) \
+        + (1.0 - OMEGA) * vals[4]
+
+
 def original_nest(m: int, n: int) -> LoopNest:
     """The unskewed SOR nest over ``[1,M] x [1,N]^2``."""
     a = "A"
@@ -79,6 +86,7 @@ def original_nest(m: int, n: int) -> LoopNest:
             ArrayRef.of(a, (-1, 0, 0)),
         ],
         _kernel,
+        _kernel_np,
     )
     validate_dependences(DECLARED_DEPS)
     return LoopNest.rectangular(

@@ -118,7 +118,8 @@ def cmd_codegen(args) -> int:
         print(generate_mpi_code(app.nest, h, mapping_dim=app.mapping_dim))
     else:
         print(generate_python_node_programs(
-            app.nest, h, mapping_dim=app.mapping_dim))
+            app.nest, h, mapping_dim=app.mapping_dim,
+            engine=args.engine))
     return 0
 
 
@@ -146,7 +147,7 @@ def cmd_simulate(args) -> int:
 
 def cmd_verify(args) -> int:
     """Execute with real data and compare against the interpreter."""
-    from repro.runtime.dataspace import max_abs_difference
+    from repro.runtime.dataspace import dense_to_cells, max_abs_difference
     from repro.runtime.executor import DistributedRun, TiledProgram
     from repro.runtime.interpreter import run_sequential
     from repro.runtime.machine import ClusterSpec
@@ -154,8 +155,13 @@ def cmd_verify(args) -> int:
     app = _build_app(args.app, args.sizes)
     h = _build_h(args.app, args.shape, args.tile)
     prog = TiledProgram(app.nest, h, mapping_dim=app.mapping_dim)
-    arrays, stats = DistributedRun(prog, ClusterSpec()).execute(
-        app.init_value)
+    run = DistributedRun(prog, ClusterSpec())
+    if args.engine == "dense":
+        fields, stats = run.execute_dense(app.init_value)
+        arrays = dense_to_cells(fields)
+    else:
+        arrays, stats = run.execute(app.init_value)
+    print(f"engine: {args.engine}")
     reference = run_sequential(app.nest, app.init_value)
     worst = 0.0
     for name in reference:
@@ -254,6 +260,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     _common_flags(p_cg)
     p_cg.add_argument("--kind", choices=["sequential", "mpi", "python"],
                       default="mpi")
+    p_cg.add_argument("--engine", choices=["sparse", "dense"],
+                      default="sparse",
+                      help="for --kind python: also burn the dense "
+                           "engine's wavefront slices into the "
+                           "emitted schedule")
     p_cg.set_defaults(fn=cmd_codegen)
 
     p_sim = sub.add_parser("simulate", help="run on the virtual cluster")
@@ -268,6 +279,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify", help="run with real data and check against a "
                        "sequential reference")
     _common_flags(p_ver)
+    p_ver.add_argument("--engine", choices=["sparse", "dense"],
+                       default="sparse",
+                       help="distributed execution engine: per-cell "
+                            "dict interpreter or the vectorized dense "
+                            "LDS engine")
     p_ver.set_defaults(fn=cmd_verify)
 
     p_ana = sub.add_parser(

@@ -22,19 +22,28 @@ from repro.polyhedra.halfspace import Polyhedron, box
 class Statement:
     """Single assignment ``write := F(reads...)``.
 
-    ``kernel`` is an optional Python callable ``f(*read_values) ->
-    value`` used by the interpreters/executors to actually compute; the
-    compiler itself never calls it.
+    ``kernel`` is an optional Python callable ``f(point, read_values)
+    -> value`` used by the interpreters/executors to actually compute;
+    the compiler itself never calls it.  ``kernel_np`` is its optional
+    vectorized twin ``f(points, read_arrays) -> ndarray`` evaluated over
+    a whole batch of independent iteration points at once (``points`` is
+    an ``(m, n)`` int array, each read a float array of length ``m``).
+    The dense execution engine prefers ``kernel_np`` and falls back to
+    a per-point loop over ``kernel``; for bitwise-identical results the
+    two must perform the same floating-point operations in the same
+    order.
     """
 
     write: ArrayRef
     reads: Tuple[ArrayRef, ...]
     kernel: Optional[Callable] = None
+    kernel_np: Optional[Callable] = None
 
     @staticmethod
     def of(write: ArrayRef, reads: Sequence[ArrayRef],
-           kernel: Optional[Callable] = None) -> "Statement":
-        return Statement(write, tuple(reads), kernel)
+           kernel: Optional[Callable] = None,
+           kernel_np: Optional[Callable] = None) -> "Statement":
+        return Statement(write, tuple(reads), kernel, kernel_np)
 
     @property
     def dim(self) -> int:

@@ -10,38 +10,53 @@ global array can be compared against a sequential reference — an
 end-to-end functional check of the whole compilation pipeline.
 """
 
-from repro.runtime.machine import ClusterSpec, FAST_ETHERNET_CLUSTER
-from repro.runtime.vmpi import (
-    VirtualMPI,
-    Send,
-    Recv,
-    Compute,
-    DeadlockError,
+from repro.runtime.dataspace import (
+    DenseField,
+    arrays_match,
+    assemble_dense,
+    dense_to_cells,
+    max_abs_difference,
+    written_region,
+)
+from repro.runtime.dense import (
+    level_batches,
+    read_dependences,
+    wavefront_vector,
 )
 from repro.runtime.executor import DistributedRun, TiledProgram
-from repro.runtime.interpreter import run_sequential, run_tiled_sequential
+from repro.runtime.interpreter import (
+    run_dense_sequential,
+    run_sequential,
+    run_tiled_sequential,
+)
+from repro.runtime.machine import FAST_ETHERNET_CLUSTER, ClusterSpec
+from repro.runtime.metrics import (
+    RunMetrics,
+    format_metrics,
+    metrics_from_stats,
+)
 from repro.runtime.trace import (
     EventTrace,
     GanttRow,
     ascii_gantt,
     to_chrome_trace,
 )
-from repro.runtime.dataspace import (
-    arrays_match,
-    assemble_dense,
-    max_abs_difference,
-    written_region,
-)
-from repro.runtime.metrics import (
-    RunMetrics,
-    format_metrics,
-    metrics_from_stats,
+from repro.runtime.vmpi import (
+    Compute,
+    DeadlockError,
+    RankApi,
+    Recv,
+    RunStats,
+    Send,
+    VirtualMPI,
 )
 
 __all__ = [
     "ClusterSpec",
     "FAST_ETHERNET_CLUSTER",
     "VirtualMPI",
+    "RankApi",
+    "RunStats",
     "Send",
     "Recv",
     "Compute",
@@ -50,12 +65,18 @@ __all__ = [
     "TiledProgram",
     "run_sequential",
     "run_tiled_sequential",
+    "run_dense_sequential",
+    "level_batches",
+    "read_dependences",
+    "wavefront_vector",
     "EventTrace",
     "GanttRow",
     "ascii_gantt",
     "to_chrome_trace",
     "arrays_match",
     "assemble_dense",
+    "DenseField",
+    "dense_to_cells",
     "max_abs_difference",
     "written_region",
     "RunMetrics",

@@ -9,12 +9,47 @@ call — the verification idiom the tests and examples repeat.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 Cell = Tuple[int, ...]
 SparseArray = Mapping[Cell, float]
+
+
+@dataclass
+class DenseField:
+    """A written array stored densely: values over a box plus a mask.
+
+    ``values[c - origin]`` holds the value of cell ``c``; ``written``
+    marks the cells actually produced by the run (the box is generally a
+    superset of the written region — e.g. the rational image box of a
+    skewed write access).  This is the dense engine's result format;
+    :meth:`to_cells` converts to the sparse ``cell -> value`` dicts the
+    cross-mode checks (`arrays_match`) consume.
+    """
+
+    origin: Tuple[int, ...]
+    values: np.ndarray
+    written: np.ndarray
+
+    def to_cells(self) -> Dict[Cell, float]:
+        idx = np.nonzero(self.written)
+        cells = np.stack(idx, axis=1) + np.asarray(self.origin,
+                                                   dtype=np.int64)
+        vals = self.values[idx]
+        return {
+            tuple(int(x) for x in c): float(v)
+            for c, v in zip(cells, vals)
+        }
+
+
+def dense_to_cells(
+    fields: Mapping[str, DenseField],
+) -> Dict[str, Dict[Cell, float]]:
+    """Convert a dense run's result to sparse dicts per array."""
+    return {name: f.to_cells() for name, f in fields.items()}
 
 
 def written_region(cells: SparseArray) -> Tuple[Tuple[int, ...],
@@ -38,21 +73,33 @@ def written_region(cells: SparseArray) -> Tuple[Tuple[int, ...],
 def assemble_dense(cells: SparseArray,
                    fill: float = np.nan,
                    origin: Optional[Tuple[int, ...]] = None,
-                   shape: Optional[Tuple[int, ...]] = None) -> np.ndarray:
+                   shape: Optional[Tuple[int, ...]] = None,
+                   clip: bool = False) -> np.ndarray:
     """Dense array over the written region (or a caller-given window).
 
     Returns an array ``A`` with ``A[c - origin] == cells[c]``; unwritten
-    positions hold ``fill``.
+    positions hold ``fill``.  Cells outside a caller-supplied window
+    raise :class:`ValueError` (silently truncating results hid real
+    disagreements between execution modes); pass ``clip=True`` to
+    deliberately restrict to the window instead.
     """
     if origin is None or shape is None:
         lo, hi = written_region(cells)
         origin = origin or lo
-        shape = shape or tuple(h - l + 1 for l, h in zip(origin, hi))
+        shape = shape or tuple(h - o + 1 for o, h in zip(origin, hi))
     out = np.full(shape, fill, dtype=np.float64)
+    dropped = 0
     for c, v in cells.items():
         idx = tuple(a - b for a, b in zip(c, origin))
         if all(0 <= i < s for i, s in zip(idx, shape)):
             out[idx] = v
+        else:
+            dropped += 1
+    if dropped and not clip:
+        raise ValueError(
+            f"{dropped} cell(s) fall outside the window "
+            f"origin={tuple(origin)} shape={tuple(shape)}; pass "
+            "clip=True to truncate deliberately")
     return out
 
 

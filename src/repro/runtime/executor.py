@@ -24,7 +24,15 @@ modes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -33,14 +41,34 @@ from repro.distribution.computation import ComputationDistribution
 from repro.distribution.data import DistributedAddressing, LocalDataSpace
 from repro.linalg.ratmat import RatMat
 from repro.loops.nest import LoopNest
+from repro.runtime.dataspace import DenseField
+from repro.runtime.dense import (
+    ReadPlan,
+    build_statement_plans,
+    evaluate_statement_batch,
+    field_for_write,
+    fix_out_of_domain,
+    level_batches,
+    read_dependences,
+    wavefront_vector,
+)
 from repro.runtime.machine import ClusterSpec
 from repro.runtime.trace import EventTrace
-from repro.runtime.vmpi import Compute, Recv, RunStats, Send, VirtualMPI
+from repro.runtime.vmpi import (
+    Compute,
+    RankApi,
+    Recv,
+    RunStats,
+    Send,
+    VirtualMPI,
+)
 from repro.tiling.legality import check_legal_tiling
 from repro.tiling.transform import TilingTransformation
 
 Pid = Tuple[int, ...]
 Tile = Tuple[int, ...]
+#: A rank's node program: generator of Send/Recv/Compute requests.
+NodeFn = Callable[[RankApi], Generator]
 
 
 class TiledProgram:
@@ -58,21 +86,10 @@ class TiledProgram:
         self.addressing = DistributedAddressing(self.dist, self.comm)
         self.n = self.tiling.n
         self.arrays = list(nest.written_arrays)
-        # Transformed dependence vector per (statement, read) that targets
-        # a written array; None for pure-input reads.
-        self._read_deps: List[List[Optional[Tuple[int, ...]]]] = []
-        writes = {s.write.array: s.write for s in nest.statements}
-        for s in nest.statements:
-            row: List[Optional[Tuple[int, ...]]] = []
-            for r in s.reads:
-                w = writes.get(r.array)
-                if w is None:
-                    row.append(None)
-                else:
-                    diff = tuple(a - b for a, b in zip(w.offset, r.offset))
-                    d = w.access_matrix().solve(diff)
-                    row.append(tuple(int(x) for x in d))
-            self._read_deps.append(row)
+        # Dependence vector per (statement, read) that targets a written
+        # array; None for pure-input reads.
+        self._read_deps: List[List[Optional[Tuple[int, ...]]]] = \
+            read_dependences(nest)
         # Rank numbering for the virtual communicator.
         self.pids: Tuple[Pid, ...] = self.dist.processors
         self.rank_of: Dict[Pid, int] = {p: i for i, p in enumerate(self.pids)}
@@ -82,6 +99,8 @@ class TiledProgram:
         self._region_prewarmed = False
         self._recv_order: Dict[Pid, Tuple[Tuple[Tile, ...],
                                           Tuple[Tile, ...]]] = {}
+        self._dense_s: Optional[Tuple[int, ...]] = None
+        self._dense_full_batches: Optional[List[np.ndarray]] = None
         if verify:
             # Guard mode: refuse to hand out a program the static
             # verifier can prove will race, deadlock, or address out of
@@ -120,6 +139,50 @@ class TiledProgram:
             if lbs[k] > 0:
                 mask &= lat[:, k] >= lbs[k]
         return mask
+
+    def dense_schedule_vector(self) -> Tuple[int, ...]:
+        """The TTIS wavefront vector the dense engine batches with.
+
+        Built from the union of actual read dependences and the nest's
+        declared matrix, pushed through the TTIS transformation — a
+        pure compile-time quantity (the emitters burn it into generated
+        sources)."""
+        if self._dense_s is None:
+            ttis = self.tiling.ttis
+            seen: Dict[Tuple[int, ...], None] = {}
+            for ds in self._read_deps:
+                for d in ds:
+                    if d is not None and any(d):
+                        seen[tuple(int(x) for x in d)] = None
+            for dd in self.nest.dependences:
+                d = tuple(int(x) for x in dd)
+                if any(d):
+                    seen[d] = None
+            dprimes = [tuple(int(x) for x in dp) for dp in
+                       ttis.transformed_dependences(list(seen))]
+            self._dense_s = wavefront_vector(
+                [d for d in dprimes if any(d)], self.n, extents=ttis.v)
+        return self._dense_s
+
+    def dense_level_batches(self, tile: Tile) -> List[np.ndarray]:
+        """Wavefront levels of ``tile`` under
+        :meth:`dense_schedule_vector`: index arrays into
+        ``ttis.lattice_points_np()``, in increasing level; partial
+        tiles drop their clipped points (and any emptied levels)."""
+        if self._dense_full_batches is None:
+            self._dense_full_batches = level_batches(
+                self.tiling.ttis.lattice_points_np(),
+                self.dense_schedule_vector())
+        batches = self._dense_full_batches
+        if self.tiling.classify_tile(tile) == "full":
+            return batches
+        mask = self.tile_mask(tile)
+        out = []
+        for b in batches:
+            bb = b[mask[b]]
+            if len(bb):
+                out.append(bb)
+        return out
 
     def full_region_count(self, direction: Sequence[int]) -> int:
         """Pack-region size of an *interior* tile toward ``direction`` —
@@ -310,11 +373,11 @@ class DistributedRun:
         def speed(rank: int) -> float:
             return spec.node_speed_factor(rank)
 
-        def make_program(pid: Pid):
+        def make_program(pid: Pid) -> NodeFn:
             rank = prog.rank_of[pid]
             f = speed(rank)
 
-            def node(api):
+            def node(api: RankApi) -> Generator:
                 for tile in prog.dist.tiles_of(pid):
                     for ds, pred, src in prog.receive_plan(tile):
                         nelems = prog.region_count(pred, ds) * narr
@@ -360,8 +423,8 @@ class DistributedRun:
         ds_list = [ds for ds in comm.d_s if not comm.is_intra_processor(ds)]
         tag_of = {ds: i for i, ds in enumerate(ds_list)}
 
-        def make_program(pid: Pid):
-            def node(api):
+        def make_program(pid: Pid) -> NodeFn:
+            def node(api: RankApi) -> Generator:
                 for tile in dist.tiles_of(pid):
                     # receive one message per crossing dependence whose
                     # predecessor tile exists
@@ -407,7 +470,8 @@ class DistributedRun:
     # -- full data mode ---------------------------------------------------------------
 
     def execute(self, init_value: Callable[[str, Tuple[int, ...]], float],
-                dtype=np.float64) -> Tuple[Dict[str, Dict[Tuple[int, ...], float]], RunStats]:
+                dtype: type = np.float64,
+                ) -> Tuple[Dict[str, Dict[Tuple[int, ...], float]], RunStats]:
         """Run with real data movement; returns (global arrays, stats).
 
         ``init_value(array, cell)`` supplies values for reads that fall
@@ -436,7 +500,7 @@ class DistributedRun:
             for row in read_deps
         ]
 
-        def make_program(pid: Pid):
+        def make_program(pid: Pid) -> NodeFn:
             lds = prog.addressing.lds_for(pid)
             arrays_local = {a: lds.allocate(dtype) for a in prog.arrays}
 
@@ -456,7 +520,7 @@ class DistributedRun:
                 )
                 return arrays_local[arr][cell]
 
-            def node(api):
+            def node(api: RankApi) -> Generator:
                 for tile in dist.tiles_of(pid):
                     t = dist.chain_index(tile)
                     # RECEIVE ------------------------------------------------
@@ -528,12 +592,182 @@ class DistributedRun:
         stats = engine.run()
         return global_arrays, stats
 
+    # -- dense data mode ---------------------------------------------------------------
+
+    def execute_dense(
+        self, init_value: Callable[[str, Tuple[int, ...]], float],
+        dtype: type = np.float64,
+    ) -> Tuple[Dict[str, DenseField], RunStats]:
+        """Vectorized twin of :meth:`execute`.
+
+        Each rank's LDS is a flat numpy buffer addressed by the paper's
+        condensed ``map`` (strides ``c_k``, halo offsets ``off_k``);
+        every tile executes in batched wavefront levels of its TTIS
+        lattice; pack/unpack move whole ``CC`` regions as single
+        gathers/scatters.  The event sequence yielded to the virtual
+        cluster is identical to :meth:`execute` (one ``Compute`` per
+        tile, same message sizes/tags/order), so the returned
+        :class:`RunStats` match exactly; only the Python-side wall-clock
+        cost changes.  Results come back as :class:`DenseField` per
+        written array (``.to_cells()`` recovers the sparse dicts).
+        """
+        prog = self.program
+        spec = self.spec
+        nest = prog.nest
+        tiling = prog.tiling
+        ttis = tiling.ttis
+        dist = prog.dist
+        n = prog.n
+        m = dist.m
+        lat = ttis.lattice_points_np()
+        tis = ttis.tis_points_np()
+        lex_order = np.lexsort(lat.T[::-1])
+        narr = len(prog.arrays)
+        amat, bvec = tiling._amat, tiling._bvec
+        v_np = np.asarray(ttis.v, dtype=np.int64)
+        c_np = np.asarray(ttis.c, dtype=np.int64)
+        rows_np = v_np // c_np
+        plans = build_statement_plans(nest, init_value, dtype)
+        for plan in plans:
+            for rp in plan.reads:
+                if rp.dep is not None:
+                    dp = ttis.transformed_dependences(
+                        [tuple(int(x) for x in rp.dep)])[0]
+                    rp.dep_prime = np.asarray(dp, dtype=np.int64)
+        # Wavefront over the TTIS images of the dependences: legality
+        # (H d >= 0) makes them componentwise non-negative, so a valid
+        # schedule always exists; an axis all deps advance along gives
+        # the fewest levels.  Shared with the emitters through
+        # TiledProgram so generated sources burn in the same slices.
+        tile_batches = prog.dense_level_batches
+        fields: Dict[str, DenseField] = {
+            plan.stmt.write.array: field_for_write(plan.stmt.write,
+                                                   nest.domain, dtype)
+            for plan in plans
+        }
+
+        def make_program(pid: Pid) -> NodeFn:
+            lds = prog.addressing.lds_for(pid)
+            shape = np.asarray(lds.shape, dtype=np.int64)
+            strides = np.ones(n, dtype=np.int64)
+            for k in reversed(range(n - 1)):
+                strides[k] = strides[k + 1] * shape[k + 1]
+            size = int(lds.cells)
+            off_np = np.asarray(lds.offsets, dtype=np.int64)
+            local = {a: np.zeros(size, dtype=dtype) for a in prog.arrays}
+
+            def to_flat(jp: np.ndarray, t: int) -> np.ndarray:
+                shifted = jp.copy()
+                shifted[:, m] += t * int(v_np[m])
+                return (shifted // c_np + off_np) @ strides
+
+            def node(api: RankApi) -> Generator:
+                for tile in dist.tiles_of(pid):
+                    t = dist.chain_index(tile)
+                    # RECEIVE ------------------------------------------------
+                    for ds, pred, src in prog.receive_plan(tile):
+                        nelems = prog.region_count(pred, ds) * narr
+                        if nelems == 0:
+                            continue
+                        dm = prog.comm.project(ds)
+                        payload, got = yield Recv(
+                            source=prog.rank_of[src],
+                            tag=prog.message_tag(dm))
+                        assert got == nelems, (
+                            f"size mismatch at {tile} from {pred}: "
+                            f"{got} != {nelems}")
+                        yield Compute(spec.pack_time(nelems))
+                        region = prog.region_mask(pred, ds)
+                        idx = lex_order[region[lex_order]]
+                        flat = to_flat(lat[idx], t) - int(
+                            (np.asarray(ds, dtype=np.int64) * rows_np)
+                            @ strides)
+                        cnt = len(idx)
+                        for ai, arr in enumerate(prog.arrays):
+                            local[arr][flat] = \
+                                payload[ai * cnt:(ai + 1) * cnt]
+                    # COMPUTE ------------------------------------------------
+                    yield Compute(spec.compute_time(
+                        prog.tiling.tile_point_count(tile)))
+                    origin = np.asarray(tiling.tile_origin(tile),
+                                        dtype=np.int64)
+                    for batch in tile_batches(tile):
+                        jp = lat[batch]
+                        g = tis[batch] + origin
+                        wflat = to_flat(jp, t)
+
+                        def gather(rp: ReadPlan, gpts: np.ndarray,
+                                   _jp: np.ndarray = jp,
+                                   _t: int = t) -> np.ndarray:
+                            assert rp.dep is not None
+                            assert rp.dep_prime is not None
+                            flat = to_flat(_jp - rp.dep_prime, _t)
+                            # Out-of-domain sources can address outside
+                            # the LDS; clip, then overwrite below.
+                            vals = local[rp.ref.array][
+                                np.clip(flat, 0, size - 1)]
+                            in_dom = np.all(
+                                amat @ (gpts - rp.dep).T
+                                <= bvec[:, None], axis=0)
+                            if not in_dom.all():
+                                fix_out_of_domain(vals, rp.ref, gpts,
+                                                  in_dom, init_value)
+                            return vals
+
+                        for plan in plans:
+                            out = evaluate_statement_batch(
+                                plan, g, gather, dtype)
+                            local[plan.stmt.write.array][wflat] = out
+                    # SEND ---------------------------------------------------
+                    for dm, dst in prog.send_plan(tile):
+                        full_dir = dm[:m] + (0,) + dm[m:]
+                        region = prog.region_mask(tile, full_dir)
+                        count = int(region.sum())
+                        if count == 0:
+                            continue
+                        nelems = count * narr
+                        yield Compute(spec.pack_time(nelems))
+                        idx = lex_order[region[lex_order]]
+                        flat = to_flat(lat[idx], t)
+                        payload = np.concatenate(
+                            [local[a][flat] for a in prog.arrays])
+                        yield Send(dest=prog.rank_of[dst],
+                                   tag=prog.message_tag(dm),
+                                   nelems=nelems, payload=payload)
+                # WRITE-BACK (outside the timed region, as in execute).
+                for tile in dist.tiles_of(pid):
+                    t = dist.chain_index(tile)
+                    mask_idx = np.nonzero(prog.tile_mask(tile))[0]
+                    if not len(mask_idx):
+                        continue
+                    origin = np.asarray(tiling.tile_origin(tile),
+                                        dtype=np.int64)
+                    g = tis[mask_idx] + origin
+                    flat = to_flat(lat[mask_idx], t)
+                    for plan in plans:
+                        arr = plan.stmt.write.array
+                        field = fields[arr]
+                        cells = plan.write_indexer.cells(g)
+                        loc = tuple((cells - np.asarray(
+                            field.origin, dtype=np.int64)).T)
+                        field.values[loc] = local[arr][flat]
+                        field.written[loc] = True
+            return node
+
+        programs = {prog.rank_of[pid]: make_program(pid)
+                    for pid in prog.pids}
+        engine = VirtualMPI(spec, programs, trace=self.trace)
+        stats = engine.run()
+        return fields, stats
+
     # -- pack / unpack ------------------------------------------------------------------
 
     @staticmethod
-    def _pack(prog: TiledProgram, lds: LocalDataSpace, arrays_local,
+    def _pack(prog: TiledProgram, lds: LocalDataSpace,
+              arrays_local: Dict[str, np.ndarray],
               tile: Tile, region: np.ndarray, t: int,
-              order: np.ndarray, lat: np.ndarray, dtype) -> np.ndarray:
+              order: np.ndarray, lat: np.ndarray,
+              dtype: type) -> np.ndarray:
         """Serialize the region's values, array-major then lattice order."""
         idx = order[region[order]]
         out = np.empty(len(idx) * len(prog.arrays), dtype=dtype)
@@ -547,8 +781,10 @@ class DistributedRun:
         return out
 
     @staticmethod
-    def _unpack(prog: TiledProgram, lds: LocalDataSpace, arrays_local,
-                payload: np.ndarray, pred: Tile, ds: Tile, t: int) -> None:
+    def _unpack(prog: TiledProgram, lds: LocalDataSpace,
+                arrays_local: Dict[str, np.ndarray],
+                payload: np.ndarray, pred: Tile, ds: Tile,
+                t: int) -> None:
         """Mirror of :meth:`_pack` on the receiving side.
 
         The receiver re-derives the sender's region (it knows the

@@ -7,6 +7,13 @@ in TTIS lattice order), which is the reordering the sequential tiled
 code of §2.3 performs; producing identical results is precisely what
 tiling legality guarantees.  The distributed executor is tested against
 both.
+
+``run_dense_sequential`` is the vectorized counterpart: the whole
+domain is executed in batched wavefront levels over dense numpy
+storage.  It materializes the domain's bounding box of points, so it is
+meant for small/medium spaces (tests, cross-checks); paper-scale runs
+go through the per-tile dense engine in
+:meth:`repro.runtime.executor.DistributedRun.execute_dense`.
 """
 
 from __future__ import annotations
@@ -18,6 +25,19 @@ import numpy as np
 from repro.linalg.ratmat import RatMat
 from repro.loops.nest import LoopNest
 from repro.polyhedra.integer_points import integer_points
+from repro.polyhedra.vertices import bounding_box
+from repro.runtime.dense import (
+    ReadPlan,
+    build_statement_plans,
+    domain_constraints,
+    domain_mask,
+    evaluate_statement_batch,
+    field_for_write,
+    fix_out_of_domain,
+    level_batches,
+    schedule_dependences,
+    wavefront_vector,
+)
 from repro.tiling.transform import TilingTransformation
 
 Cell = Tuple[int, ...]
@@ -66,3 +86,65 @@ def run_tiled_sequential(nest: LoopNest, h: RatMat,
             j = tuple(a + b for a, b in zip(origin, local))
             _execute_point(nest, arrays, init_value, j)
     return arrays
+
+
+def run_dense_sequential(nest: LoopNest, init_value: InitFn,
+                         dtype: type = np.float64,
+                         ) -> Dict[str, Dict[Cell, float]]:
+    """Execute the nest in batched wavefront order over dense storage.
+
+    Semantically equivalent to :func:`run_sequential` — and bitwise
+    equal when the statements' ``kernel_np`` twins mirror their scalar
+    kernels — but executes whole independence levels as single numpy
+    operations instead of one dict lookup per point.
+    """
+    n = nest.depth
+    amat, bvec = domain_constraints(nest.domain)
+    lo, hi = bounding_box(nest.domain)
+    grids = np.meshgrid(
+        *[np.arange(b, h + 1, dtype=np.int64) for b, h in zip(lo, hi)],
+        indexing="ij",
+    )
+    pts = np.stack([g.ravel() for g in grids], axis=1)
+    pts = pts[domain_mask(amat, bvec, pts)]
+    plans = build_statement_plans(nest, init_value, dtype)
+    s = wavefront_vector(
+        schedule_dependences(nest, plans), n,
+        extents=[h - b + 1 for b, h in zip(lo, hi)],
+    )
+    batches = level_batches(pts, s)
+    fields = {
+        plan.stmt.write.array: field_for_write(plan.stmt.write,
+                                               nest.domain, dtype)
+        for plan in plans
+    }
+    limits = {
+        a: np.asarray(f.values.shape, dtype=np.int64) - 1
+        for a, f in fields.items()
+    }
+
+    def gather(rp: ReadPlan, g: np.ndarray) -> np.ndarray:
+        assert rp.dep is not None
+        field = fields[rp.ref.array]
+        idx = rp.indexer.cells(g) - np.asarray(field.origin,
+                                               dtype=np.int64)
+        # Out-of-domain sources may index outside the field box; clip
+        # first (those slots are overwritten just below).
+        idx = np.clip(idx, 0, limits[rp.ref.array])
+        vals = field.values[tuple(idx.T)]
+        in_dom = domain_mask(amat, bvec, g - rp.dep)
+        if not in_dom.all():
+            fix_out_of_domain(vals, rp.ref, g, in_dom, init_value)
+        return vals
+
+    for batch in batches:
+        g = pts[batch]
+        for plan in plans:
+            out = evaluate_statement_batch(plan, g, gather, dtype)
+            field = fields[plan.stmt.write.array]
+            idx = plan.write_indexer.cells(g) - np.asarray(
+                field.origin, dtype=np.int64)
+            loc = tuple(idx.T)
+            field.values[loc] = out
+            field.written[loc] = True
+    return {a: f.to_cells() for a, f in fields.items()}

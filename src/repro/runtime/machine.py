@@ -41,10 +41,10 @@ class ClusterSpec:
     time_per_packed_element: float = 25e-9
     bytes_per_element: int = 8
     overlap: bool = False
-    rendezvous_threshold: "int | None" = None
+    rendezvous_threshold: int | None = None
     #: Optional per-rank CPU slowdown factors (1.0 = nominal).  Models a
     #: heterogeneous cluster; ranks beyond the tuple's length run at 1.0.
-    node_speed_factors: "tuple | None" = None
+    node_speed_factors: tuple | None = None
 
     def node_speed_factor(self, rank: int) -> float:
         if self.node_speed_factors is None:
@@ -66,7 +66,7 @@ class ClusterSpec:
     def pack_time(self, nelems: int) -> float:
         return nelems * self.time_per_packed_element
 
-    def with_overlap(self) -> "ClusterSpec":
+    def with_overlap(self) -> ClusterSpec:
         return replace(self, overlap=True)
 
 

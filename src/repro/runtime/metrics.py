@@ -9,9 +9,8 @@ communication intensity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from repro.runtime.trace import EventTrace
 from repro.runtime.vmpi import RunStats
 
 
@@ -24,6 +23,16 @@ class RankMetrics:
 
     @property
     def busy_fraction(self) -> float:
+        """Fraction of the rank's timeline spent doing *anything* —
+        compute or communication.  (It used to count compute only,
+        which silently equalled :attr:`compute_fraction` and made
+        comm-bound ranks look idle.)"""
+        total = self.compute + self.comm + self.idle
+        return (self.compute + self.comm) / total if total > 0 else 0.0
+
+    @property
+    def compute_fraction(self) -> float:
+        """Fraction of the rank's timeline spent in useful compute."""
         total = self.compute + self.comm + self.idle
         return self.compute / total if total > 0 else 0.0
 
@@ -73,7 +82,7 @@ def metrics_from_stats(stats: RunStats) -> RunMetrics:
     neither computing nor inside a communication call (ranks that
     finish early are idle for the remainder by definition).
     """
-    ranks = []
+    ranks: List[RankMetrics] = []
     for rank in sorted(stats.clocks):
         compute = stats.compute_time[rank]
         comm = stats.comm_time[rank]
@@ -95,12 +104,14 @@ def format_metrics(metrics: RunMetrics, top: Optional[int] = None) -> str:
         f"efficiency {metrics.parallel_efficiency:.1%}  "
         f"imbalance {metrics.load_imbalance:.1%}  "
         f"comm share {metrics.comm_fraction:.1%}",
-        f"{'rank':>4}  {'compute':>10}  {'comm':>10}  {'idle':>10}  busy",
+        f"{'rank':>4}  {'compute':>10}  {'comm':>10}  {'idle':>10}  "
+        f"{'cpu':>6}  busy",
     ]
     rows = metrics.ranks[:top] if top else metrics.ranks
     for r in rows:
         lines.append(
             f"{r.rank:>4}  {r.compute:>10.6f}  {r.comm:>10.6f}  "
-            f"{r.idle:>10.6f}  {r.busy_fraction:>5.1%}"
+            f"{r.idle:>10.6f}  {r.compute_fraction:>6.1%}  "
+            f"{r.busy_fraction:>5.1%}"
         )
     return "\n".join(lines)

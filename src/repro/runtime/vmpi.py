@@ -21,8 +21,8 @@ the same clocks, which makes simulated "measurements" reproducible.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.runtime.machine import ClusterSpec
 from repro.runtime.trace import EventTrace
@@ -73,7 +73,7 @@ class _Message:
 class _PendingSend:
     """A rendezvous send waiting for its receive to be posted."""
 
-    proc: "_Proc"
+    proc: _Proc
     nelems: int
     payload: Any
     ready: float      # sender clock at the yield
@@ -98,7 +98,7 @@ class VirtualMPI:
     """Run a set of rank programs to completion under the cost model."""
 
     def __init__(self, spec: ClusterSpec,
-                 programs: Dict[int, Callable[["RankApi"], Generator]],
+                 programs: Dict[int, Callable[[RankApi], Generator]],
                  trace: Optional[EventTrace] = None):
         self.spec = spec
         self.trace = trace
@@ -106,19 +106,27 @@ class VirtualMPI:
         for rank, prog in programs.items():
             gen = prog(RankApi(rank))
             self._procs[rank] = _Proc(rank=rank, gen=gen)
-        # FIFO message queues keyed by (source, dest, tag).
-        self._queues: Dict[Tuple[int, int, int], List[_Message]] = {}
+        # Event heaps keyed by (source, dest, tag).  Every entry is a
+        # ``(seq, item)`` pair under a single monotonic sequence
+        # counter: the heap orders on ``seq`` alone (unique by
+        # construction), so two simultaneous sends can never fall
+        # through to comparing message/request payloads — a latent
+        # ``TypeError`` (payload arrays) and ordering hazard.  Since
+        # ``seq`` increases with issue order, heap order == FIFO order,
+        # preserving MPI point-to-point semantics.
+        self._queues: Dict[Tuple[int, int, int],
+                           List[Tuple[int, _Message]]] = {}
         # Rendezvous sends parked until the receive is posted.
-        self._pending: Dict[Tuple[int, int, int], List[_PendingSend]] = {}
+        self._pending: Dict[Tuple[int, int, int],
+                            List[Tuple[int, _PendingSend]]] = {}
         self._seq = 0
         self.total_messages = 0
         self.total_elements = 0
 
     # -- main loop ------------------------------------------------------------------
 
-    def run(self) -> "RunStats":
+    def run(self) -> RunStats:
         live = set(self._procs.keys())
-        runnable = list(sorted(live))
         while live:
             progressed = False
             for rank in sorted(live):
@@ -207,9 +215,11 @@ class VirtualMPI:
         if rendezvous:
             # Synchronous protocol: the transfer cannot start before the
             # receive is posted; the matcher completes both sides.
-            self._pending.setdefault(key, []).append(_PendingSend(
-                proc=proc, nelems=req.nelems, payload=req.payload,
-                ready=proc.clock, seq=self._seq))
+            heapq.heappush(
+                self._pending.setdefault(key, []),
+                (self._seq, _PendingSend(
+                    proc=proc, nelems=req.nelems, payload=req.payload,
+                    ready=proc.clock, seq=self._seq)))
             proc.send_parked = True
             proc.sends += 1
             self.total_messages += 1
@@ -225,10 +235,10 @@ class VirtualMPI:
             proc.clock += t_xfer
             arrival = proc.clock
             proc.comm_time += t_xfer
-        self._queues.setdefault(key, []).append(
-            _Message(arrival=arrival, nelems=req.nelems,
-                     payload=req.payload, seq=self._seq)
-        )
+        heapq.heappush(
+            self._queues.setdefault(key, []),
+            (self._seq, _Message(arrival=arrival, nelems=req.nelems,
+                                 payload=req.payload, seq=self._seq)))
         proc.sends += 1
         self.total_messages += 1
         self.total_elements += req.nelems
@@ -240,18 +250,21 @@ class VirtualMPI:
         return False
 
     def _try_deliver(self, proc: _Proc) -> Optional[Tuple[Any, int]]:
+        assert proc.blocked_on is not None
         source, tag = proc.blocked_on
         key = (source, proc.rank, tag)
         queue = self._queues.get(key)
         pending = self._pending.get(key)
         # Strict FIFO per (source, dest, tag): match whichever protocol
-        # holds the oldest outstanding send.
-        eager_seq = queue[0].seq if queue else None
-        rdv_seq = pending[0].seq if pending else None
+        # holds the oldest outstanding send (heap roots carry the
+        # smallest sequence numbers).
+        eager_seq = queue[0][0] if queue else None
+        rdv_seq = pending[0][0] if pending else None
         if eager_seq is None and rdv_seq is None:
             return None
         if rdv_seq is not None and (eager_seq is None or rdv_seq < eager_seq):
-            ps = pending.pop(0)
+            assert pending is not None
+            _, ps = heapq.heappop(pending)
             start = proc.clock
             t_xfer = self.spec.message_time(ps.nelems)
             end = max(proc.clock, ps.ready) + t_xfer
@@ -271,7 +284,8 @@ class VirtualMPI:
                     kind="recv", rank=proc.rank, start=start, end=end,
                     peer=source, tag=tag, nelems=ps.nelems)
             return (ps.payload, ps.nelems)
-        msg = queue.pop(0)
+        assert queue is not None
+        _, msg = heapq.heappop(queue)
         start = proc.clock
         proc.clock = max(proc.clock, msg.arrival)
         wait = proc.clock - start
@@ -286,7 +300,7 @@ class VirtualMPI:
 
     # -- results ---------------------------------------------------------------------
 
-    def stats(self) -> "RunStats":
+    def stats(self) -> RunStats:
         clocks = {r: p.clock for r, p in self._procs.items()}
         return RunStats(
             makespan=max(clocks.values()) if clocks else 0.0,

@@ -82,3 +82,68 @@ class TestGeneratedExecution:
         prog = TiledProgram(app.nest, h, mapping_dim=2)
         direct = DistributedRun(prog, fast).simulate()
         assert abs(stats.makespan - direct.makespan) < 1e-15
+
+
+class TestDenseEmission:
+    @pytest.fixture(scope="class")
+    def dense_generated(self):
+        app = sor.app(4, 6)
+        h = sor.h_nonrectangular(2, 3, 4)
+        src = generate_python_node_programs(app.nest, h, mapping_dim=2,
+                                            engine="dense")
+        return app, h, src
+
+    def test_default_is_unchanged(self, generated):
+        app, h, src = generated
+        again = generate_python_node_programs(app.nest, h, mapping_dim=2,
+                                              engine="sparse")
+        assert again == src
+
+    def test_unknown_engine_rejected(self):
+        app = sor.app(4, 6)
+        with pytest.raises(ValueError, match="engine"):
+            generate_python_node_programs(
+                app.nest, sor.h_rectangular(2, 3, 4), mapping_dim=2,
+                engine="cuda")
+
+    def test_wavefront_constant(self, dense_generated):
+        app, h, src = dense_generated
+        mod = load_generated_module(src)
+        prog = TiledProgram(app.nest, h, mapping_dim=2)
+        assert mod.ENGINE == "dense"
+        assert mod.WAVEFRONT == prog.dense_schedule_vector()
+
+    def test_slice_sizes_sum_to_tile_points(self, dense_generated):
+        app, h, src = dense_generated
+        mod = load_generated_module(src)
+        prog = TiledProgram(app.nest, h, mapping_dim=2)
+        # every tile-compute event carries the wavefront slice sizes;
+        # their total over a rank equals the rank's point count
+        expected = {
+            prog.rank_of[pid]: sum(prog.tiling.tile_point_count(t)
+                                   for t in prog.dist.tiles_of(pid))
+            for pid in prog.pids
+        }
+        for rank, events in mod.SCHEDULES.items():
+            total = sum(sum(ev[2]) for ev in events
+                        if ev[0] == "compute" and len(ev) == 3)
+            assert total == expected[rank]
+
+    def test_same_stats_as_sparse_emission(self, generated,
+                                           dense_generated):
+        _, _, sparse_src = generated
+        _, _, dense_src = dense_generated
+        spec = ClusterSpec()
+        stats = []
+        for src in (sparse_src, dense_src):
+            mod = load_generated_module(src)
+            engine = VirtualMPI(
+                spec, {r: mod.node_program(r) for r in mod.RANKS})
+            stats.append(engine.run())
+        assert stats[0] == stats[1]
+
+    def test_passes_translation_validation(self, dense_generated):
+        from repro.analysis.transval import check_pygen_source
+        app, h, src = dense_generated
+        prog = TiledProgram(app.nest, h, mapping_dim=2)
+        assert check_pygen_source(prog, src) == []

@@ -40,8 +40,15 @@ class TestAssemble:
         assert a[1, 2] == 1.0
         assert a[3, 2] == 3.0
 
-    def test_out_of_window_dropped(self, sparse):
-        a = assemble_dense(sparse, fill=0.0, origin=(0, 0), shape=(1, 1))
+    def test_out_of_window_raises(self, sparse):
+        # Silently dropping cells used to mask assembly bugs; now the
+        # caller must opt into truncation explicitly.
+        with pytest.raises(ValueError, match="3 cell"):
+            assemble_dense(sparse, fill=0.0, origin=(0, 0), shape=(1, 1))
+
+    def test_out_of_window_clip_opt_in(self, sparse):
+        a = assemble_dense(sparse, fill=0.0, origin=(0, 0), shape=(1, 1),
+                           clip=True)
         assert a.sum() == 0.0  # all cells outside the tiny window
 
     def test_from_real_execution(self, sor_small, sor_reference_small):

@@ -1,0 +1,154 @@
+"""Edge-case coverage for data-space checks and runtime failure modes.
+
+These are the paths the cross-mode verification idiom leans on:
+``max_abs_difference`` / ``arrays_match`` decide whether two execution
+modes agree, ``assemble_dense`` windows results, and ``DeadlockError``
+is the runtime's only defence against a miscompiled communication
+schedule.  A wrong answer in any of them silently blesses a broken run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    ClusterSpec,
+    Compute,
+    DeadlockError,
+    DenseField,
+    Recv,
+    Send,
+    VirtualMPI,
+    arrays_match,
+    assemble_dense,
+    max_abs_difference,
+)
+
+SPEC = ClusterSpec(net_latency=1e-3, net_bandwidth=8e6,
+                   bytes_per_element=8, time_per_iteration=1e-6)
+
+
+class TestMaxAbsDifference:
+    def test_both_empty_is_zero(self):
+        assert max_abs_difference({}, {}) == 0.0
+
+    def test_empty_vs_nonempty_is_inf(self):
+        assert max_abs_difference({}, {(0,): 1.0}) == float("inf")
+        assert max_abs_difference({(0,): 1.0}, {}) == float("inf")
+
+    def test_disjoint_keys_is_inf(self):
+        a = {(0, 0): 1.0}
+        b = {(1, 1): 1.0}
+        assert max_abs_difference(a, b) == float("inf")
+
+    def test_partially_overlapping_keys_is_inf(self):
+        # Identical where both are defined — still a mismatch, because
+        # one mode wrote a cell the other never produced.
+        a = {(0,): 1.0, (1,): 2.0}
+        b = {(0,): 1.0}
+        assert max_abs_difference(a, b) == float("inf")
+
+    def test_identical_is_zero(self):
+        a = {(0,): 1.5, (1,): -2.5}
+        assert max_abs_difference(a, dict(a)) == 0.0
+
+    def test_reports_largest_gap(self):
+        a = {(0,): 1.0, (1,): 5.0}
+        b = {(0,): 1.0 + 1e-9, (1,): 5.0 - 2e-6}
+        assert max_abs_difference(a, b) == pytest.approx(2e-6)
+
+
+class TestArraysMatchTolerance:
+    def test_exact_tolerance_boundary_passes(self):
+        # arrays_match uses <=, so a gap of exactly tol must pass.
+        a = {"A": {(0,): 1.0}}
+        b = {"A": {(0,): 1.0 + 1e-6}}
+        gap = abs(b["A"][(0,)] - 1.0)
+        assert arrays_match(a, b, tol=gap)
+        assert not arrays_match(a, b, tol=gap * 0.5)
+
+    def test_zero_tolerance_requires_bitwise(self):
+        a = {"A": {(0,): 0.1 + 0.2}}
+        assert arrays_match(a, {"A": {(0,): 0.1 + 0.2}}, tol=0.0)
+        assert not arrays_match(a, {"A": {(0,): 0.3}}, tol=0.0)
+
+    def test_different_array_names_mismatch(self):
+        assert not arrays_match({"A": {}}, {"B": {}})
+
+
+class TestAssembleDenseWindow:
+    def test_out_of_window_raises_with_count(self):
+        cells = {(0, 0): 1.0, (5, 5): 2.0, (6, 6): 3.0}
+        with pytest.raises(ValueError, match="2 cell"):
+            assemble_dense(cells, fill=0.0, origin=(0, 0), shape=(2, 2))
+
+    def test_clip_truncates_deliberately(self):
+        cells = {(0, 0): 1.0, (5, 5): 2.0}
+        a = assemble_dense(cells, fill=0.0, origin=(0, 0), shape=(2, 2),
+                           clip=True)
+        assert a[0, 0] == 1.0
+        assert a.sum() == 1.0
+
+    def test_window_covering_all_cells_never_raises(self):
+        cells = {(1, 1): 1.0}
+        a = assemble_dense(cells, fill=0.0, origin=(0, 0), shape=(3, 3))
+        assert a[1, 1] == 1.0
+
+
+class TestDenseFieldToCells:
+    def test_only_written_cells_exported(self):
+        values = np.array([[1.0, 2.0], [3.0, 4.0]])
+        written = np.array([[True, False], [False, True]])
+        f = DenseField(origin=(10, 20), values=values, written=written)
+        assert f.to_cells() == {(10, 20): 1.0, (11, 21): 4.0}
+
+    def test_nothing_written_is_empty(self):
+        f = DenseField(origin=(0,), values=np.zeros(4),
+                       written=np.zeros(4, dtype=bool))
+        assert f.to_cells() == {}
+
+
+class TestDeadlockDetection:
+    def test_recv_with_no_sender(self):
+        def p(api):
+            yield Recv(source=1, tag=0)
+
+        def q(api):
+            yield Compute(1.0)
+
+        with pytest.raises(DeadlockError):
+            VirtualMPI(SPEC, {0: p, 1: q}).run()
+
+    def test_mutual_recv_cycle(self):
+        def p(api):
+            yield Recv(source=1, tag=0)
+            yield Send(dest=1, tag=0, nelems=1)
+
+        def q(api):
+            yield Recv(source=0, tag=0)
+            yield Send(dest=0, tag=0, nelems=1)
+
+        with pytest.raises(DeadlockError, match="blocked operations"):
+            VirtualMPI(SPEC, {0: p, 1: q}).run()
+
+    def test_tag_mismatch_deadlocks(self):
+        def p(api):
+            yield Send(dest=1, tag=1, nelems=1)
+            # rank 1 waits on tag 2, which never arrives
+
+        def q(api):
+            yield Recv(source=0, tag=2)
+
+        with pytest.raises(DeadlockError):
+            VirtualMPI(SPEC, {0: p, 1: q}).run()
+
+    def test_no_deadlock_on_clean_exchange(self):
+        def p(api):
+            yield Send(dest=1, tag=0, nelems=1)
+            yield Recv(source=1, tag=0)
+
+        def q(api):
+            payload, _ = yield Recv(source=0, tag=0)
+            yield Send(dest=0, tag=0, nelems=1)
+
+        stats = VirtualMPI(SPEC, {0: p, 1: q}).run()
+        assert stats.total_messages == 2

@@ -64,6 +64,14 @@ class TestFormat:
         short = format_metrics(m, top=2)
         assert len(short.splitlines()) == 2 + 2
 
-    def test_busy_fraction(self):
+    def test_busy_fraction_counts_comm(self):
+        # busy = (compute + comm) / total; the old definition counted
+        # compute only, making comm-bound ranks look idle.
         r = RankMetrics(rank=0, compute=2.0, comm=1.0, idle=1.0)
-        assert r.busy_fraction == pytest.approx(0.5)
+        assert r.busy_fraction == pytest.approx(0.75)
+        assert r.compute_fraction == pytest.approx(0.5)
+
+    def test_busy_fraction_zero_total(self):
+        r = RankMetrics(rank=0, compute=0.0, comm=0.0, idle=0.0)
+        assert r.busy_fraction == 0.0
+        assert r.compute_fraction == 0.0

@@ -180,3 +180,51 @@ class TestStats:
 
         with pytest.raises(TypeError):
             run({0: p})
+
+
+class TestSimultaneousSends:
+    """Equal-time events must order by issue sequence, never payload.
+
+    The event heaps hold ``(seq, entry)`` pairs under a monotonic
+    counter; without the unique ``seq`` key, two sends issued at the
+    same simulated instant would fall through to comparing message
+    objects (a ``TypeError`` for dict/ndarray payloads, and an ordering
+    hazard otherwise).
+    """
+
+    # Zero-cost network: every send lands at the same simulated time.
+    FREE = ClusterSpec(net_latency=0.0, net_bandwidth=1e30,
+                       bytes_per_element=8, time_per_iteration=1e-6)
+
+    def test_equal_time_unorderable_payloads_fifo(self):
+        def sender(api):
+            yield Send(dest=1, tag=0, nelems=1, payload={"n": "first"})
+            yield Send(dest=1, tag=0, nelems=1, payload={"n": "second"})
+            yield Send(dest=1, tag=0, nelems=1, payload={"n": "third"})
+
+        def receiver(api):
+            got = []
+            for _ in range(3):
+                payload, _n = yield Recv(source=0, tag=0)
+                got.append(payload["n"])
+            assert got == ["first", "second", "third"]
+
+        stats = run({0: sender, 1: receiver}, spec=self.FREE)
+        assert stats.total_messages == 3
+
+    def test_equal_time_ndarray_payloads(self):
+        np = pytest.importorskip("numpy")
+
+        def sender(api):
+            yield Send(dest=1, tag=3, nelems=2,
+                       payload=np.array([1.0, 2.0]))
+            yield Send(dest=1, tag=3, nelems=2,
+                       payload=np.array([3.0, 4.0]))
+
+        def receiver(api):
+            first, _ = yield Recv(source=0, tag=3)
+            second, _ = yield Recv(source=0, tag=3)
+            assert first.tolist() == [1.0, 2.0]
+            assert second.tolist() == [3.0, 4.0]
+
+        run({0: sender, 1: receiver}, spec=self.FREE)
