@@ -1,0 +1,87 @@
+"""Gate a fresh ``BENCH_*.json`` report against the committed baseline.
+
+CI runs the quick benchmark set with ``REPRO_BENCH_JSON=BENCH_PR4.json``
+and then::
+
+    python benchmarks/check_regression.py BENCH_PR4.json \
+        --baseline benchmarks/baseline.json
+
+The gate compares ``best_s`` (min-of-repeats — the contention-free
+estimate) per benchmark and fails on any slowdown above the threshold
+(default 25 %).  Benchmarks present on only one side are reported but
+never fail the gate: adding a benchmark must not require touching the
+baseline in the same commit, and CI hosts may legitimately skip
+host-gated entries (e.g. multi-core speedups on a single-core runner).
+
+``--update-baseline`` rewrites the baseline from the current report
+(used locally when a deliberate perf change moves the floor).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path) as fh:
+        report = json.load(fh)
+    if report.get("schema") != 1 or "benchmarks" not in report:
+        raise SystemExit(f"{path}: not a schema-1 bench report")
+    return report
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="fresh BENCH_*.json report")
+    ap.add_argument("--baseline", default="benchmarks/baseline.json")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="max tolerated slowdown (fraction, default "
+                         "0.25 = 25%%)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="copy the current report over the baseline "
+                         "instead of gating")
+    args = ap.parse_args(argv)
+
+    if args.update_baseline:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated from {args.current}")
+        return 0
+
+    current = load(args.current)["benchmarks"]
+    baseline = load(args.baseline)["benchmarks"]
+
+    failures = []
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"SKIP  {name}: in baseline only (not run here)")
+            continue
+        base = baseline[name]["best_s"]
+        now = current[name]["best_s"]
+        ratio = now / base if base > 0 else float("inf")
+        cv = current[name].get("cv", 0.0)
+        status = "OK   "
+        if ratio > 1.0 + args.threshold:
+            status = "FAIL "
+            failures.append((name, base, now, ratio))
+        print(f"{status}{name}: {base:.4f}s -> {now:.4f}s "
+              f"({ratio:.2f}x baseline, CV {cv:.1%})")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"NEW   {name}: {current[name]['best_s']:.4f}s "
+              f"(no baseline yet)")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed beyond "
+              f"{args.threshold:.0%}:")
+        for name, base, now, ratio in failures:
+            print(f"  {name}: {base:.4f}s -> {now:.4f}s "
+                  f"({(ratio - 1):.1%} slower)")
+        return 1
+    print("\nregression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,11 +6,26 @@ asserts the paper's qualitative claims (who wins, ordering,
 crossovers).  Parameter sweeps default to a moderate grid so the whole
 suite finishes in minutes; set ``REPRO_BENCH_FULL=1`` for the full
 paper-anchored sweeps.
+
+Timing discipline lives in :mod:`timing` (GC off,
+``time.perf_counter_ns``, CV reporting).  Tests marked ``quick`` form
+the CI smoke set (``pytest benchmarks -m quick --quick``); those that
+accept the ``bench`` fixture additionally record their timings, and
+when ``REPRO_BENCH_JSON`` names a path the session writes them as a
+``BENCH_*.json`` report (schema in ``docs/BENCHMARKING.md``) that
+``check_regression.py`` gates against the committed baseline.
 """
 
+import json
 import os
+import platform
+import sys
 
 import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from timing import TimingResult, gc_disabled, rss_mib, time_fn  # noqa: E402
 
 FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
 
@@ -20,6 +35,14 @@ def pytest_addoption(parser):
         "--quick", action="store_true", default=False,
         help="smoke mode: tiny configurations, correctness checks "
              "only, no speedup floors (used by CI)")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "quick: cheap, deterministic benchmark included in the CI "
+        "bench-quick smoke job")
+
 
 #: Tile-size sweeps (chain-dimension factor) per density.
 SOR_Z = (4, 6, 8, 12, 16, 24, 32, 48) if FULL else (4, 8, 16, 32)
@@ -42,5 +65,67 @@ def print_figure(fig):
 
 
 def run_once(benchmark, fn):
-    """Run the figure generation exactly once under the benchmark timer."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    """Run the figure generation exactly once under the benchmark
+    timer, with the GC disabled so a stray collection cannot pollute
+    the single sample."""
+    with gc_disabled():
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+# -- BENCH_*.json recording ----------------------------------------------------
+
+
+class BenchRecorder:
+    """Collects named timings across the session for the JSON report."""
+
+    def __init__(self):
+        self.results = {}
+
+    def measure(self, name, fn, repeats=2):
+        """Time ``fn`` (min-of ``repeats``, GC off) and record it."""
+        result = time_fn(name, fn, repeats=repeats)
+        self.record(result)
+        return result
+
+    def record(self, result: TimingResult):
+        self.results[result.name] = result
+
+    def to_report(self):
+        return {
+            "schema": 1,
+            "host": {
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+                "cpu_count": os.cpu_count(),
+            },
+            "benchmarks": {
+                name: {
+                    "best_s": r.best_s,
+                    "median_s": r.median_s,
+                    "cv": r.cv,
+                    "samples": len(r.samples_ns),
+                    "rss_mib": r.rss_mib,
+                }
+                for name, r in sorted(self.results.items())
+            },
+        }
+
+
+_RECORDER = BenchRecorder()
+
+
+@pytest.fixture(scope="session")
+def bench():
+    """Session-wide recorder; quick benchmarks report through this so
+    their numbers land in the ``REPRO_BENCH_JSON`` report."""
+    return _RECORDER
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path or not _RECORDER.results:
+        return
+    with open(path, "w") as fh:
+        json.dump(_RECORDER.to_report(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {len(_RECORDER.results)} benchmark entries to {path}")

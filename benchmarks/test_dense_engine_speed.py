@@ -79,8 +79,9 @@ def _timed_pair(app, h, mdim):
     return prog, t_sparse, t_dense
 
 
+@pytest.mark.quick
 @pytest.mark.parametrize("name", sorted(DEFAULT_CONFIGS))
-def test_dense_engine_speedup(name, request):
+def test_dense_engine_speedup(name, request, bench):
     quick = request.config.getoption("--quick")
     configs = QUICK_CONFIGS if quick else DEFAULT_CONFIGS
     app, h, mdim = configs[name]()
@@ -90,7 +91,14 @@ def test_dense_engine_speedup(name, request):
     print(f"\n{name}: {points} points, sparse {t_sparse:.3f}s "
           f"({t_sparse / points * 1e6:.1f} us/pt), dense "
           f"{t_dense:.3f}s -> speedup {speedup:.1f}x")
-    if not quick:
+    if quick:
+        # Record the dense-engine time for the CI regression gate
+        # (quick configs only — the gate compares like with like).
+        run = DistributedRun(prog, ClusterSpec())
+        bench.measure(f"dense_engine_{name}_quick",
+                      lambda: run.execute_dense(app.init_value),
+                      repeats=2)
+    else:
         assert speedup >= SPEEDUP_FLOOR, (
             f"{name}: dense engine only {speedup:.1f}x faster than "
             f"sparse (floor {SPEEDUP_FLOOR}x)")

@@ -1,0 +1,107 @@
+"""Measured performance of the real multiprocess parallel backend.
+
+Two layers:
+
+* quick (CI smoke, ``-m quick --quick``): small configs, bitwise
+  cross-check against the dense engine, and recorded wall-clock
+  timings for the ``BENCH_*.json`` regression gate.
+* scaling (multi-core hosts only): the acceptance claim — wall-clock
+  speedup > 1.5x at 4 workers on a paper-scale configuration.  Gated
+  on ``os.cpu_count() >= 4``; on a single-core container the parallel
+  backend cannot (and should not pretend to) beat itself.
+"""
+
+import os
+
+import pytest
+
+from repro.apps import sor
+from repro.runtime import (
+    ClusterSpec,
+    DistributedRun,
+    TiledProgram,
+    arrays_match,
+    dense_to_cells,
+)
+
+#: Speedup floor at 4 workers (acceptance criterion: > 1.5x).
+SPEEDUP_FLOOR = 1.5
+
+QUICK_CONFIG = (lambda: sor.app(8, 12), lambda: sor.h_rectangular(2, 3, 4), 2)
+#: Paper-scale-ish: enough compute per rank that process startup and
+#: mailbox traffic amortise (~seconds of single-worker runtime).
+SCALE_CONFIG = (lambda: sor.app(40, 60), lambda: sor.h_rectangular(8, 25, 10),
+                2)
+
+
+@pytest.mark.quick
+def test_parallel_quick_bitwise_and_timed(request, bench):
+    """CI smoke: parallel == dense bitwise, timings recorded."""
+    app_fn, h_fn, mdim = QUICK_CONFIG
+    app, h = app_fn(), h_fn()
+    prog = TiledProgram(app.nest, h, mapping_dim=mdim)
+    run = DistributedRun(prog, ClusterSpec())
+    ref_fields, ref_stats = run.execute_dense(app.init_value)
+
+    captured = {}
+
+    def one_run():
+        captured["result"] = run.execute_parallel(
+            app.init_value, workers=2)
+
+    result = bench.measure("parallel_sor_quick_w2", one_run, repeats=2)
+    fields, stats = captured["result"]
+    assert arrays_match(dense_to_cells(fields),
+                        dense_to_cells(ref_fields), tol=0.0)
+    assert stats.total_messages == ref_stats.total_messages
+    assert stats.total_elements == ref_stats.total_elements
+    print(f"\nparallel quick (w=2): best {result.best_s:.3f}s, "
+          f"median {result.median_s:.3f}s, CV {result.cv:.1%}")
+
+
+@pytest.mark.quick
+def test_dense_reference_timed(bench):
+    """The dense single-process run of the same config, for the ratio
+    trend in the bench history."""
+    app_fn, h_fn, mdim = QUICK_CONFIG
+    app, h = app_fn(), h_fn()
+    prog = TiledProgram(app.nest, h, mapping_dim=mdim)
+    run = DistributedRun(prog, ClusterSpec())
+    bench.measure("dense_sor_quick",
+                  lambda: run.execute_dense(app.init_value), repeats=2)
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="speedup claim needs >= 4 cores")
+def test_parallel_speedup_4workers():
+    """Acceptance: > 1.5x wall-clock speedup at 4 workers.
+
+    Baseline is the 1-worker run of the *same* backend (same mailboxes,
+    same schedule, zero concurrency), so the ratio isolates real
+    parallel overlap rather than engine differences.  Speedup compares
+    makespans (max measured rank clock — process spawn excluded on both
+    sides, and identically so).
+    """
+    app_fn, h_fn, mdim = SCALE_CONFIG
+    app, h = app_fn(), h_fn()
+    prog = TiledProgram(app.nest, h, mapping_dim=mdim)
+    run = DistributedRun(prog, ClusterSpec())
+    assert prog.num_processors >= 4
+
+    def span(workers):
+        best = float("inf")
+        for _ in range(2):
+            _, stats = run.execute_parallel(app.init_value,
+                                            workers=workers)
+            best = min(best, stats.makespan)
+        return best
+
+    t1 = span(1)
+    t4 = span(4)
+    speedup = t1 / t4
+    print(f"\nparallel scaling on {prog.num_processors} processors: "
+          f"1 worker {t1:.2f}s, 4 workers {t4:.2f}s -> "
+          f"{speedup:.2f}x")
+    assert speedup > SPEEDUP_FLOOR, (
+        f"4-worker speedup {speedup:.2f}x below {SPEEDUP_FLOOR}x "
+        f"(t1={t1:.2f}s, t4={t4:.2f}s)")

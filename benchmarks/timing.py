@@ -1,0 +1,109 @@
+"""Trustworthy wall-clock timing for the benchmark suite.
+
+The numbers that end up in ``BENCH_*.json`` gate CI, so they must be
+reproducible run-to-run.  Three rules, applied by every helper here:
+
+* the garbage collector is disabled around the timed region (a cycle
+  collection inside a sample is pure noise);
+* all clocks are ``time.perf_counter_ns`` — one monotonic, integer
+  clock everywhere, no mixing of ``time.time``/``perf_counter`` floats;
+* every measurement reports its coefficient of variation and warns
+  above :data:`CV_WARN_THRESHOLD`, so a noisy host is visible in the
+  run log instead of silently polluting the baseline.
+
+Summary statistics follow the usual bench discipline: *min* as the
+contention-free estimate (what the regression gate compares), *median*
+as the typical-case number recorded alongside it.
+"""
+
+from __future__ import annotations
+
+import gc
+import resource
+import statistics
+import sys
+import time
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, Tuple
+
+#: Warn when run-to-run spread (CV = stdev/mean) exceeds this.
+CV_WARN_THRESHOLD = 0.10
+
+
+@contextmanager
+def gc_disabled() -> Iterator[None]:
+    """Disable the cyclic GC for the duration (restores prior state)."""
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def rss_mib() -> float:
+    """Peak resident set size of this process, in MiB.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; normalise both.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Samples of one benchmark, in nanoseconds."""
+
+    name: str
+    samples_ns: Tuple[int, ...]
+    rss_mib: float
+
+    @property
+    def best_s(self) -> float:
+        return min(self.samples_ns) / 1e9
+
+    @property
+    def median_s(self) -> float:
+        return statistics.median(self.samples_ns) / 1e9
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (0.0 for a single sample)."""
+        if len(self.samples_ns) < 2:
+            return 0.0
+        mean = statistics.fmean(self.samples_ns)
+        if mean == 0:
+            return 0.0
+        return statistics.stdev(self.samples_ns) / mean
+
+    def warn_if_noisy(self) -> None:
+        if self.cv > CV_WARN_THRESHOLD:
+            warnings.warn(
+                f"benchmark {self.name!r}: CV {self.cv:.1%} exceeds "
+                f"{CV_WARN_THRESHOLD:.0%} — timings on this host are "
+                f"noisy; treat regressions with suspicion",
+                stacklevel=2)
+
+
+def time_fn(name: str, fn: Callable[[], object],
+            repeats: int = 2) -> TimingResult:
+    """Time ``fn`` ``repeats`` times (GC off, ``perf_counter_ns``).
+
+    Warms nothing and discards nothing: with min-of summary the first,
+    cache-cold sample can only lose, never bias the gate downward.
+    """
+    samples = []
+    with gc_disabled():
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter_ns()
+            fn()
+            samples.append(time.perf_counter_ns() - t0)
+    result = TimingResult(name=name, samples_ns=tuple(samples),
+                          rss_mib=rss_mib())
+    result.warn_if_noisy()
+    return result

@@ -8,6 +8,9 @@ tiling, get code and cluster numbers back:
 * ``codegen``   — emit the sequential tiled code, the C+MPI program, or
   the executable Python schedule.
 * ``simulate``  — run the virtual cluster and print speedup/utilization.
+* ``run``       — execute with real data: ``--engine parallel`` uses one
+  OS process per processor with shared-memory halo exchange (measured
+  wall-clock utilization, bitwise-checked against the dense engine).
 * ``analyze``   — static verification: legality, race, deadlock and
   halo-bounds passes over the compiled program, without executing it.
   Exits nonzero when any error-severity diagnostic is found.
@@ -179,6 +182,66 @@ def cmd_verify(args) -> int:
     return 1
 
 
+def cmd_run(args) -> int:
+    """Execute on the chosen engine and print *measured* utilization.
+
+    With ``--engine parallel`` this is the real thing: one OS process
+    per processor, shared-memory halo exchange, wall-clock timings.
+    Unless ``--no-check`` is given, the result is cross-checked bitwise
+    (tol=0.0) against the dense engine; a mismatch exits nonzero.
+    """
+    from repro.runtime.dataspace import arrays_match, dense_to_cells
+    from repro.runtime.executor import DistributedRun, TiledProgram
+    from repro.runtime.machine import ClusterSpec
+    from repro.runtime.metrics import format_metrics, metrics_from_stats
+
+    app = _build_app(args.app, args.sizes)
+    h = _build_h(args.app, args.shape, args.tile)
+    prog = TiledProgram(app.nest, h, mapping_dim=app.mapping_dim)
+    run = DistributedRun(prog, ClusterSpec())
+    import time as _time
+    t0 = _time.perf_counter()
+    if args.engine == "parallel":
+        fields, stats = run.execute_parallel(
+            app.init_value, workers=args.workers,
+            protocol=args.protocol)
+        arrays = dense_to_cells(fields)
+    elif args.engine == "dense":
+        fields, stats = run.execute_dense(app.init_value)
+        arrays = dense_to_cells(fields)
+    else:
+        arrays, stats = run.execute(app.init_value)
+    wall = _time.perf_counter() - t0
+    print(f"engine: {args.engine}"
+          + (f" (workers={args.workers}, protocol={args.protocol})"
+             if args.engine == "parallel" else ""))
+    print(f"wall-clock: {wall:.3f}s  processors: {prog.num_processors}")
+    print(f"messages = {stats.total_messages}, elements = "
+          f"{stats.total_elements}")
+    print()
+    print(format_metrics(metrics_from_stats(stats), top=args.ranks))
+    if args.no_check:
+        return 0
+    ref_fields, ref_stats = DistributedRun(
+        prog, ClusterSpec()).execute_dense(app.init_value)
+    ok = arrays_match(arrays, dense_to_cells(ref_fields), tol=0.0)
+    counts_ok = (stats.total_messages == ref_stats.total_messages
+                 and stats.total_elements == ref_stats.total_elements)
+    print()
+    if ok and counts_ok:
+        print("CHECK: bitwise identical to the dense engine "
+              "(tol=0.0), event counts match")
+        return 0
+    if not ok:
+        print("CHECK FAILED: results differ from the dense engine")
+    if not counts_ok:
+        print(f"CHECK FAILED: event counts differ "
+              f"(messages {stats.total_messages} vs "
+              f"{ref_stats.total_messages}, elements "
+              f"{stats.total_elements} vs {ref_stats.total_elements})")
+    return 1
+
+
 def cmd_analyze(args) -> int:
     """Run the static verifier and render its report."""
     from repro.analysis import analyze
@@ -285,6 +348,33 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "dict interpreter or the vectorized dense "
                             "LDS engine")
     p_ver.set_defaults(fn=cmd_verify)
+
+    p_run = sub.add_parser(
+        "run", help="execute with real data on a chosen engine and "
+                    "print measured utilization")
+    _common_flags(p_run)
+    p_run.add_argument("--engine",
+                       choices=["parallel", "dense", "sparse"],
+                       default="parallel",
+                       help="parallel = real OS processes + "
+                            "shared-memory halo exchange; dense/sparse "
+                            "= single-process executors")
+    p_run.add_argument("--workers", type=int, default=None,
+                       help="max worker processes for --engine "
+                            "parallel (default: one per processor, "
+                            "capped at the host CPU count)")
+    p_run.add_argument("--protocol",
+                       choices=["spec", "eager", "rendezvous"],
+                       default="spec",
+                       help="mailbox protocol: eager, rendezvous, or "
+                            "per-message by the cluster spec's "
+                            "threshold")
+    p_run.add_argument("--no-check", action="store_true",
+                       help="skip the bitwise cross-check against the "
+                            "dense engine")
+    p_run.add_argument("--ranks", type=int, default=8,
+                       help="utilization rows to print")
+    p_run.set_defaults(fn=cmd_run)
 
     p_ana = sub.add_parser(
         "analyze", help="static verification: race, deadlock and "

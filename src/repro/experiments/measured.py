@@ -1,0 +1,102 @@
+"""Measured scaling curves from the real parallel backend.
+
+The paper's figures are analytic-model speedups; PR 4's parallel
+runtime finally produces *measured* wall-clock numbers on the host.
+This module runs ``execute_parallel`` over a worker sweep and packages
+the result as a :class:`FigureResult`, so the existing report/CSV/HTML
+renderers plot measured curves next to the model's.
+
+Series:
+
+* ``measured``  — T_wall(1 worker) / T_wall(w workers), min-of-repeats
+  makespans (max measured rank clock, excluding process spawn).
+* ``ideal``     — min(w, processors): linear scaling bound.
+* ``model``     — the simulator's predicted speedup for this program on
+  its virtual cluster (constant in ``w``; the model assumes one CPU per
+  processor, i.e. the ``workers >= processors`` regime).
+
+On a single-core host the measured curve is flat — that is the point
+of plotting it against the model rather than asserting on it here.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence, Tuple
+
+from repro.apps import sor
+from repro.apps.base import TiledApp
+from repro.experiments.figures import FigureResult, FigureSeries
+from repro.experiments.harness import run_experiment
+from repro.linalg.ratmat import RatMat
+from repro.runtime.executor import DistributedRun, TiledProgram
+from repro.runtime.machine import ClusterSpec
+
+
+def measure_wall(app: TiledApp, h: RatMat, workers: int,
+                 spec: Optional[ClusterSpec] = None,
+                 repeats: int = 2,
+                 protocol: str = "spec") -> Tuple[float, float]:
+    """(best makespan, best end-to-end wall) over ``repeats`` runs.
+
+    The makespan is the max measured rank clock — the number comparable
+    to the model's ``T_par``; the end-to-end wall additionally pays
+    process spawn/teardown.
+    """
+    spec = spec or ClusterSpec()
+    prog = TiledProgram(app.nest, h, mapping_dim=app.mapping_dim)
+    best_span = float("inf")
+    best_wall = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        _, stats = DistributedRun(prog, spec).execute_parallel(
+            app.init_value, workers=workers, protocol=protocol)
+        best_wall = min(best_wall, time.perf_counter() - t0)
+        best_span = min(best_span, stats.makespan)
+    return best_span, best_wall
+
+
+def measured_scaling(app: TiledApp, h: RatMat, label: str,
+                     workers: Sequence[int] = (1, 2, 4),
+                     spec: Optional[ClusterSpec] = None,
+                     repeats: int = 2,
+                     protocol: str = "spec") -> FigureResult:
+    """Measured-vs-model speedup over a worker sweep (one app, one
+    tiling).  Baseline is the 1-worker parallel run — same engine, same
+    mailboxes, no concurrency — so the curve isolates actual overlap."""
+    spec = spec or ClusterSpec()
+    prog = TiledProgram(app.nest, h, mapping_dim=app.mapping_dim)
+    nproc = prog.num_processors
+    model = run_experiment(app, h, label, spec=spec)
+    spans = {}
+    for w in workers:
+        span, _ = measure_wall(app, h, w, spec=spec, repeats=repeats,
+                               protocol=protocol)
+        spans[w] = span
+    base = spans[min(workers)]
+    series = (
+        FigureSeries(label="measured", points=tuple(
+            (w, base / spans[w]) for w in workers)),
+        FigureSeries(label="ideal", points=tuple(
+            (w, float(min(w, nproc))) for w in workers)),
+        FigureSeries(label="model", points=tuple(
+            (w, model.speedup) for w in workers)),
+    )
+    return FigureResult(
+        figure="measured",
+        title=f"Measured scaling: {app.name} [{label}] on "
+              f"{nproc} processors",
+        xlabel="workers",
+        series=series,
+        details=(model,),
+    )
+
+
+def sor_measured(m: int = 20, n: int = 30,
+                 tile: Tuple[int, int, int] = (4, 8, 10),
+                 workers: Sequence[int] = (1, 2, 4),
+                 repeats: int = 2) -> FigureResult:
+    """Convenience driver: a modest SOR config that runs in seconds."""
+    return measured_scaling(sor.app(m, n), sor.h_rectangular(*tile),
+                            label=f"rect {tile}", workers=workers,
+                            repeats=repeats)

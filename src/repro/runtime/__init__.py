@@ -35,6 +35,12 @@ from repro.runtime.metrics import (
     format_metrics,
     metrics_from_stats,
 )
+from repro.runtime.parallel import (
+    ParallelRuntimeError,
+    ParallelTimeoutError,
+    ParallelWorkerError,
+    run_parallel,
+)
 from repro.runtime.trace import (
     EventTrace,
     GanttRow,
@@ -82,4 +88,8 @@ __all__ = [
     "RunMetrics",
     "format_metrics",
     "metrics_from_stats",
+    "run_parallel",
+    "ParallelRuntimeError",
+    "ParallelTimeoutError",
+    "ParallelWorkerError",
 ]

@@ -760,6 +760,32 @@ class DistributedRun:
         stats = engine.run()
         return fields, stats
 
+    # -- real parallel mode -------------------------------------------------------------
+
+    def execute_parallel(
+        self, init_value: Callable[[str, Tuple[int, ...]], float],
+        workers: Optional[int] = None,
+        dtype: type = np.float64,
+        protocol: str = "spec",
+        mailbox_depth: int = 8,
+        timeout: float = 300.0,
+    ) -> Tuple[Dict[str, DenseField], RunStats]:
+        """Run the schedule with *real* OS-process parallelism.
+
+        One process per processor (capped at ``workers``), halos moving
+        through shared-memory mailboxes — see
+        :mod:`repro.runtime.parallel`.  Results are bitwise identical
+        to :meth:`execute_dense`; the returned :class:`RunStats` carry
+        *measured* wall-clock per-rank clocks (the simulator's event
+        counts, so ``total_messages``/``total_elements`` still match
+        :meth:`simulate` exactly).
+        """
+        from repro.runtime.parallel import run_parallel
+        return run_parallel(
+            self.program, self.spec, init_value, workers=workers,
+            dtype=dtype, protocol=protocol, mailbox_depth=mailbox_depth,
+            timeout=timeout, trace=self.trace)
+
     # -- pack / unpack ------------------------------------------------------------------
 
     @staticmethod

@@ -1,0 +1,897 @@
+"""Real multiprocess parallel backend (one OS process per processor).
+
+Everything else in :mod:`repro.runtime` *simulates* the cluster: the
+virtual-MPI engine advances per-rank clocks under a cost model, but no
+two tiles ever execute concurrently.  This module finally runs the
+compiled schedule in parallel on the host:
+
+* each processor ``pid`` of the :class:`~repro.runtime.executor.
+  TiledProgram` becomes (up to ``workers``) an OS process owning its
+  dense LDS buffers, executing its tile chain in paper order with the
+  same batched wavefront kernels as the dense engine;
+* halos move through *lock-free per-edge shared-memory mailboxes*: one
+  single-producer/single-consumer ring buffer per directed
+  ``(src_rank, dst_rank, tag)`` edge, sized at compile time from the
+  ``CC`` region counts (pack-per-processor on send, receive-per-tile
+  on the receiving side — the paper's §3.2 asymmetry);
+* both MPI protocols are available: *eager* (the bounded ring provides
+  backpressure: a full mailbox blocks the sender until a slot frees)
+  and *rendezvous* (the sender additionally waits until the receiver
+  has consumed the message — ``MPI_Ssend`` semantics).  ``"spec"``
+  picks per message from :attr:`ClusterSpec.rendezvous_threshold`,
+  exactly like the simulator.
+
+Correctness story: the per-tile computation is byte-for-byte the dense
+engine's (same level batches, same gathers, same ``kernel_np``
+expressions), and messages carry the exact values the dense engine
+packs, so results are **bitwise identical** (``tol=0.0``) to
+``execute_dense`` — the tests pin this down.  The returned
+:class:`~repro.runtime.vmpi.RunStats` carries *measured* wall-clock
+per-rank clocks and compute/comm splits (idle falls out in
+:func:`~repro.runtime.metrics.metrics_from_stats`), while its event
+counts (``total_messages``/``total_elements``) must equal the
+simulator's — a second cross-check the tests enforce.
+
+Concurrency-safety notes:
+
+* every mailbox ring is strictly single-producer/single-consumer, so
+  the monotonic head/tail counters need no locks: the producer writes
+  payload then publishes by bumping ``head``; the consumer reads
+  ``head`` before touching the slot.  CPython emits the stores in
+  program order and aligned 8-byte loads/stores are atomic on every
+  supported platform, which is the standard SPSC-ring discipline;
+* when ``workers < processors`` each worker runs several rank programs
+  under a cooperative scheduler (generators yield while a mailbox
+  would block), so intra-worker rank pairs can never deadlock each
+  other;
+* a crashed worker is detected by the parent (exit-code watch + error
+  queue) which flips a shared abort flag so every other worker unwinds
+  promptly — no hangs, a clean :class:`ParallelWorkerError`.
+
+Per-rank timings are wall-clock interval sums.  They are exact when
+``workers >= processors`` (the measurement configuration); with fewer
+workers the ranks sharing a process also share its CPU time, so the
+per-rank split becomes an attribution, not a measurement.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from multiprocessing import get_context
+from multiprocessing import shared_memory as _shm
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.runtime.dataspace import DenseField
+from repro.runtime.dense import (
+    ReadPlan,
+    build_statement_plans,
+    evaluate_statement_batch,
+    field_for_write,
+    fix_out_of_domain,
+)
+from repro.runtime.machine import ClusterSpec
+from repro.runtime.trace import EventTrace
+from repro.runtime.vmpi import RunStats
+
+if TYPE_CHECKING:
+    from repro.runtime.executor import TiledProgram
+
+Pid = Tuple[int, ...]
+Tile = Tuple[int, ...]
+Cell = Tuple[int, ...]
+InitFn = Callable[[str, Cell], float]
+EdgeKey = Tuple[int, int, int]          # (src_rank, dst_rank, tag)
+#: (kind, start_ns, end_ns, peer, tag, nelems); peer/tag < 0 = absent.
+Event = Tuple[str, int, int, int, int, int]
+
+#: Cooperative-scheduler pacing: passes without local progress before
+#: the worker starts sleeping, and the sleep bounds (seconds).
+_SPIN_PASSES = 64
+_SLEEP_MIN = 50e-6
+_SLEEP_MAX = 2e-3
+#: Parent watchdog poll period (seconds).
+_POLL = 0.01
+
+
+class ParallelRuntimeError(RuntimeError):
+    """Base class for parallel-backend failures."""
+
+
+class ParallelWorkerError(ParallelRuntimeError):
+    """A worker process died; carries the remote traceback when known."""
+
+
+class ParallelTimeoutError(ParallelRuntimeError):
+    """No completion within the timeout (hang or real deadlock)."""
+
+
+# -- compile-time plans --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TileRecv:
+    """One posted receive of a tile: edge plus region identity."""
+
+    src_rank: int
+    tag: int
+    nelems: int
+    pred: Tile
+    ds: Tile
+
+
+@dataclass(frozen=True)
+class TileSend:
+    """One aggregated send of a tile toward a successor processor."""
+
+    dst_rank: int
+    tag: int
+    nelems: int
+    direction: Tuple[int, ...]          # d^m with 0 at the mapping dim
+
+
+@dataclass(frozen=True)
+class RankPlan:
+    """The full communication schedule of one rank, tile by tile."""
+
+    rank: int
+    pid: Pid
+    tiles: Tuple[Tile, ...]
+    recvs: Tuple[Tuple[TileRecv, ...], ...]
+    sends: Tuple[Tuple[TileSend, ...], ...]
+
+
+@dataclass(frozen=True)
+class EdgeSpec:
+    """Shared-memory layout of one mailbox ring."""
+
+    meta_off: int                       # int64 words: head, tail, sizes
+    data_off: int                       # payload elements
+    depth: int                          # slots in the ring
+    capacity: int                       # max elements per message
+
+
+@dataclass(frozen=True)
+class _Segments:
+    """Names of every shared-memory segment of one run."""
+
+    ctrl: str
+    meta: str
+    data: str
+    statsf: str
+    statsi: str
+    fields: Tuple[Tuple[str, str, str], ...]   # (array, values, written)
+
+
+@dataclass(frozen=True)
+class _RunConfig:
+    dtype_str: str
+    protocol: str                       # "eager" | "rendezvous" | "spec"
+    nranks: int
+    nworkers: int
+    collect_trace: bool
+    crash_rank: Optional[int]
+    field_layout: Tuple[Tuple[str, Tuple[int, ...], Tuple[int, ...]],
+                        ...]            # (array, origin, shape)
+
+
+def build_rank_plans(program: TiledProgram) -> Dict[int, RankPlan]:
+    """Freeze the paper schedule (receive-per-tile, send-per-processor)
+    into per-rank op lists; zero-element messages are dropped exactly
+    as the simulator drops them, so event counts line up."""
+    narr = len(program.arrays)
+    dist = program.dist
+    plans: Dict[int, RankPlan] = {}
+    for pid in program.pids:
+        rank = program.rank_of[pid]
+        tiles = dist.tiles_of(pid)
+        recvs: List[Tuple[TileRecv, ...]] = []
+        sends: List[Tuple[TileSend, ...]] = []
+        for tile in tiles:
+            rr: List[TileRecv] = []
+            for ds, pred, src in program.receive_plan(tile):
+                nelems = program.region_count(pred, ds) * narr
+                if nelems == 0:
+                    continue
+                dm = program.comm.project(ds)
+                rr.append(TileRecv(
+                    src_rank=program.rank_of[src],
+                    tag=program.message_tag(dm),
+                    nelems=nelems, pred=pred,
+                    ds=tuple(int(x) for x in ds)))
+            ss: List[TileSend] = []
+            for dm, dst in program.send_plan(tile):
+                full_dir = dm[:dist.m] + (0,) + dm[dist.m:]
+                nelems = program.region_count(tile, full_dir) * narr
+                if nelems == 0:
+                    continue
+                ss.append(TileSend(
+                    dst_rank=program.rank_of[dst],
+                    tag=program.message_tag(dm),
+                    nelems=nelems, direction=full_dir))
+            recvs.append(tuple(rr))
+            sends.append(tuple(ss))
+        plans[rank] = RankPlan(rank=rank, pid=pid, tiles=tiles,
+                               recvs=tuple(recvs), sends=tuple(sends))
+    return plans
+
+
+def build_edges(plans: Dict[int, RankPlan],
+                depth: int) -> Dict[EdgeKey, EdgeSpec]:
+    """Size one mailbox ring per directed edge that carries messages.
+
+    Capacity is the largest message the edge ever sees (a compile-time
+    quantity: the max ``CC`` pack-region count along the chain); depth
+    is bounded by the edge's total message count, so short edges do not
+    over-allocate.
+    """
+    caps: Dict[EdgeKey, int] = {}
+    counts: Dict[EdgeKey, int] = {}
+    for plan in plans.values():
+        for ss in plan.sends:
+            for s in ss:
+                key = (plan.rank, s.dst_rank, s.tag)
+                caps[key] = max(caps.get(key, 0), s.nelems)
+                counts[key] = counts.get(key, 0) + 1
+    edges: Dict[EdgeKey, EdgeSpec] = {}
+    meta_off = 0
+    data_off = 0
+    for key in sorted(caps):
+        d = max(1, min(depth, counts[key]))
+        edges[key] = EdgeSpec(meta_off=meta_off, data_off=data_off,
+                              depth=d, capacity=caps[key])
+        meta_off += 2 + d
+        data_off += d * caps[key]
+    return edges
+
+
+# -- shared memory plumbing ----------------------------------------------------------
+
+
+def _attach(name: str) -> _shm.SharedMemory:
+    """Attach to an existing segment without confusing the resource
+    tracker: the parent owns unlinking; attaching processes must not
+    register the segment or Python (< 3.13) double-frees it at exit
+    (and concurrent workers unregistering the same name make the
+    tracker print KeyErrors).  Suppress registration during attach."""
+    from multiprocessing import resource_tracker
+    orig = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None  # type: ignore[assignment]
+    try:
+        return _shm.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = orig
+
+
+class _Edge:
+    """One SPSC mailbox ring, viewed through shared memory."""
+
+    __slots__ = ("depth", "capacity", "head", "tail", "sizes", "slots")
+
+    def __init__(self, spec: EdgeSpec, meta: np.ndarray,
+                 data: np.ndarray) -> None:
+        self.depth = spec.depth
+        self.capacity = spec.capacity
+        base = spec.meta_off
+        self.head = meta[base:base + 1]
+        self.tail = meta[base + 1:base + 2]
+        self.sizes = meta[base + 2:base + 2 + spec.depth]
+        self.slots = data[spec.data_off:
+                          spec.data_off + spec.depth * spec.capacity
+                          ].reshape(spec.depth, spec.capacity)
+
+    # producer side ------------------------------------------------------------
+
+    def can_push(self) -> bool:
+        return int(self.head[0]) - int(self.tail[0]) < self.depth
+
+    def push(self, payload: np.ndarray) -> int:
+        """Write one message; returns its 1-based message number.
+
+        Payload and size land before the ``head`` bump publishes the
+        slot (store order is what makes the lock-free ring safe).
+        """
+        n = len(payload)
+        if n > self.capacity:
+            raise ParallelRuntimeError(
+                f"message of {n} elements exceeds mailbox capacity "
+                f"{self.capacity}")
+        h = int(self.head[0])
+        slot = h % self.depth
+        self.slots[slot, :n] = payload
+        self.sizes[slot] = n
+        self.head[0] = h + 1
+        return h + 1
+
+    # consumer side ------------------------------------------------------------
+
+    def can_pop(self) -> bool:
+        return int(self.head[0]) > int(self.tail[0])
+
+    def pop(self) -> np.ndarray:
+        t = int(self.tail[0])
+        slot = t % self.depth
+        n = int(self.sizes[slot])
+        out = self.slots[slot, :n].copy()
+        self.tail[0] = t + 1
+        return out
+
+    def consumed(self, msgno: int) -> bool:
+        return int(self.tail[0]) >= msgno
+
+
+# -- worker process ------------------------------------------------------------------
+
+
+class _Abort(Exception):
+    """Raised inside a worker when the shared abort flag flips."""
+
+
+@dataclass
+class _RankClocks:
+    compute_ns: int = 0
+    comm_ns: int = 0
+    sends: int = 0
+    recvs: int = 0
+    elems_sent: int = 0
+    clock_ns: int = 0
+
+
+def _rank_generator(program: TiledProgram, spec: ClusterSpec,
+                    init_value: InitFn, plan: RankPlan,
+                    edges: Dict[EdgeKey, _Edge], dtype: np.dtype,
+                    protocol: str, ctrl: np.ndarray,
+                    clocks: _RankClocks,
+                    fields: Dict[str, Tuple[np.ndarray, np.ndarray]],
+                    origins: Dict[str, np.ndarray],
+                    progress: List[int],
+                    events: Optional[List[Event]],
+                    t0_ns: int,
+                    crash: bool) -> Generator[None, None, None]:
+    """One rank's node program as a cooperative generator.
+
+    Identical math to ``DistributedRun.execute_dense`` (same batches,
+    gathers and kernels — that is what makes results bitwise equal);
+    only the transport differs: real shared-memory mailboxes instead
+    of simulator yields.  The generator yields exactly when a mailbox
+    would block, letting the worker scheduler run its other ranks.
+    """
+    prog = program
+    nest = prog.nest
+    tiling = prog.tiling
+    ttis = tiling.ttis
+    dist = prog.dist
+    n = prog.n
+    m = dist.m
+    rank = plan.rank
+    lat = ttis.lattice_points_np()
+    tis = ttis.tis_points_np()
+    lex_order = np.lexsort(lat.T[::-1])
+    amat, bvec = tiling._amat, tiling._bvec
+    v_np = np.asarray(ttis.v, dtype=np.int64)
+    c_np = np.asarray(ttis.c, dtype=np.int64)
+    rows_np = v_np // c_np
+    plans = build_statement_plans(nest, init_value, dtype)
+    for splan in plans:
+        for rp in splan.reads:
+            if rp.dep is not None:
+                dp = ttis.transformed_dependences(
+                    [tuple(int(x) for x in rp.dep)])[0]
+                rp.dep_prime = np.asarray(dp, dtype=np.int64)
+    tile_batches = prog.dense_level_batches
+
+    lds = prog.addressing.lds_for(plan.pid)
+    shape = np.asarray(lds.shape, dtype=np.int64)
+    strides = np.ones(n, dtype=np.int64)
+    for k in reversed(range(n - 1)):
+        strides[k] = strides[k + 1] * shape[k + 1]
+    size = int(lds.cells)
+    off_np = np.asarray(lds.offsets, dtype=np.int64)
+    local = {a: np.zeros(size, dtype=dtype) for a in prog.arrays}
+    thresh = spec.rendezvous_threshold
+
+    def to_flat(jp: np.ndarray, t: int) -> np.ndarray:
+        shifted = jp.copy()
+        shifted[:, m] += t * int(v_np[m])
+        return (shifted // c_np + off_np) @ strides
+
+    def rendezvous(nelems: int) -> bool:
+        if protocol == "eager":
+            return False
+        if protocol == "rendezvous":
+            return True
+        return (thresh is not None and not spec.overlap
+                and nelems * spec.bytes_per_element > thresh)
+
+    def now() -> int:
+        return time.perf_counter_ns() - t0_ns
+
+    for ti, tile in enumerate(plan.tiles):
+        t = dist.chain_index(tile)
+        # RECEIVE (receive-per-tile: unpack each predecessor region) ----
+        for r in plan.recvs[ti]:
+            edge = edges[(r.src_rank, rank, r.tag)]
+            w0 = now()
+            while not edge.can_pop():
+                if ctrl[1]:
+                    raise _Abort
+                yield
+            payload = edge.pop()
+            progress[0] += 1
+            if len(payload) != r.nelems:
+                raise ParallelRuntimeError(
+                    f"rank {rank}: size mismatch at {tile} from "
+                    f"{r.pred}: {len(payload)} != {r.nelems}")
+            region = prog.region_mask(r.pred, r.ds)
+            idx = lex_order[region[lex_order]]
+            flat = to_flat(lat[idx], t) - int(
+                (np.asarray(r.ds, dtype=np.int64) * rows_np) @ strides)
+            cnt = len(idx)
+            for ai, arr in enumerate(prog.arrays):
+                local[arr][flat] = payload[ai * cnt:(ai + 1) * cnt]
+            w1 = now()
+            clocks.comm_ns += w1 - w0
+            clocks.recvs += 1
+            if events is not None:
+                events.append(("recv", w0, w1, r.src_rank, r.tag,
+                               r.nelems))
+        # COMPUTE (batched wavefront levels, as the dense engine) -------
+        c0 = now()
+        origin = np.asarray(tiling.tile_origin(tile), dtype=np.int64)
+        for batch in tile_batches(tile):
+            jp = lat[batch]
+            g = tis[batch] + origin
+            wflat = to_flat(jp, t)
+
+            def gather(rp: ReadPlan, gpts: np.ndarray,
+                       _jp: np.ndarray = jp, _t: int = t) -> np.ndarray:
+                assert rp.dep is not None
+                assert rp.dep_prime is not None
+                flat = to_flat(_jp - rp.dep_prime, _t)
+                # Out-of-domain sources can address outside the LDS;
+                # clip, then overwrite below (same as execute_dense).
+                vals = local[rp.ref.array][np.clip(flat, 0, size - 1)]
+                in_dom = np.all(amat @ (gpts - rp.dep).T
+                                <= bvec[:, None], axis=0)
+                if not in_dom.all():
+                    fix_out_of_domain(vals, rp.ref, gpts, in_dom,
+                                      init_value)
+                return vals
+
+            for splan in plans:
+                out = evaluate_statement_batch(splan, g, gather, dtype)
+                local[splan.stmt.write.array][wflat] = out
+        c1 = now()
+        clocks.compute_ns += c1 - c0
+        if events is not None:
+            events.append(("compute", c0, c1, -1, -1, 0))
+        if crash:
+            raise RuntimeError(
+                f"injected crash in rank {rank} (test hook)")
+        # SEND (pack-per-processor: one message per successor pid) ------
+        for s in plan.sends[ti]:
+            edge = edges[(rank, s.dst_rank, s.tag)]
+            w0 = now()
+            region = prog.region_mask(tile, s.direction)
+            idx = lex_order[region[lex_order]]
+            flat = to_flat(lat[idx], t)
+            payload = np.concatenate([local[a][flat]
+                                      for a in prog.arrays])
+            while not edge.can_push():
+                if ctrl[1]:
+                    raise _Abort
+                yield
+            msgno = edge.push(payload)
+            progress[0] += 1
+            if rendezvous(s.nelems):
+                while not edge.consumed(msgno):
+                    if ctrl[1]:
+                        raise _Abort
+                    yield
+            w1 = now()
+            clocks.comm_ns += w1 - w0
+            clocks.sends += 1
+            clocks.elems_sent += s.nelems
+            if events is not None:
+                events.append(("send", w0, w1, s.dst_rank, s.tag,
+                               s.nelems))
+    clocks.clock_ns = now()
+    # WRITE-BACK (outside the timed region, as in the other engines) ----
+    for tile in plan.tiles:
+        t = dist.chain_index(tile)
+        mask_idx = np.nonzero(prog.tile_mask(tile))[0]
+        if not len(mask_idx):
+            continue
+        origin = np.asarray(tiling.tile_origin(tile), dtype=np.int64)
+        g = tis[mask_idx] + origin
+        flat = to_flat(lat[mask_idx], t)
+        for splan in plans:
+            arr = splan.stmt.write.array
+            values, written = fields[arr]
+            cells = splan.write_indexer.cells(g)
+            loc = tuple((cells - origins[arr]).T)
+            values[loc] = local[arr][flat]
+            written[loc] = 1
+
+
+def _worker_main(worker_id: int, ranks: Tuple[int, ...],
+                 program: TiledProgram, spec: ClusterSpec,
+                 init_value: InitFn, plans: Dict[int, RankPlan],
+                 edge_specs: Dict[EdgeKey, EdgeSpec],
+                 segments: _Segments, cfg: _RunConfig,
+                 error_q: Any, trace_q: Any) -> None:
+    """Entry point of one worker process: run ``ranks`` cooperatively.
+
+    Exits via ``os._exit`` so shared-memory views never trip buffer
+    teardown; exit codes: 0 success, 1 crash (traceback on
+    ``error_q``), 3 aborted because another worker failed.
+    """
+    segs: List[_shm.SharedMemory] = []
+    try:
+        dtype = np.dtype(cfg.dtype_str)
+        ctrl_seg = _attach(segments.ctrl)
+        meta_seg = _attach(segments.meta)
+        data_seg = _attach(segments.data)
+        statsf_seg = _attach(segments.statsf)
+        statsi_seg = _attach(segments.statsi)
+        segs += [ctrl_seg, meta_seg, data_seg, statsf_seg, statsi_seg]
+        ctrl = np.frombuffer(ctrl_seg.buf, dtype=np.int64)
+        meta = np.frombuffer(meta_seg.buf, dtype=np.int64)
+        data = np.frombuffer(data_seg.buf, dtype=dtype)
+        statsf = np.frombuffer(statsf_seg.buf,
+                               dtype=np.float64).reshape(cfg.nranks, 3)
+        statsi = np.frombuffer(statsi_seg.buf,
+                               dtype=np.int64).reshape(cfg.nranks, 3)
+        layout = {name: (origin, shp)
+                  for name, origin, shp in cfg.field_layout}
+        fields: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        origins: Dict[str, np.ndarray] = {}
+        for name, values_nm, written_nm in segments.fields:
+            vseg = _attach(values_nm)
+            wseg = _attach(written_nm)
+            segs += [vseg, wseg]
+            origin, shp = layout[name]
+            values = np.frombuffer(vseg.buf, dtype=dtype).reshape(shp)
+            written = np.frombuffer(wseg.buf,
+                                    dtype=np.uint8).reshape(shp)
+            fields[name] = (values, written)
+            origins[name] = np.asarray(origin, dtype=np.int64)
+        my_edges: Dict[EdgeKey, _Edge] = {
+            key: _Edge(espec, meta, data)
+            for key, espec in edge_specs.items()
+            if key[0] in ranks or key[1] in ranks
+        }
+        # Ready/go barrier: measurement starts once everyone is up.
+        ctrl[2 + worker_id] = 1
+        while not ctrl[0]:
+            if ctrl[1]:
+                os._exit(3)
+            time.sleep(_SLEEP_MIN)
+        t0_ns = time.perf_counter_ns()
+        progress = [0]
+        clocks = {r: _RankClocks() for r in ranks}
+        per_rank_events: Dict[int, List[Event]] = {}
+        gens: Dict[int, Generator[None, None, None]] = {}
+        for r in ranks:
+            ev: Optional[List[Event]] = (
+                [] if cfg.collect_trace else None)
+            if ev is not None:
+                per_rank_events[r] = ev
+            gens[r] = _rank_generator(
+                program, spec, init_value, plans[r], my_edges, dtype,
+                cfg.protocol, ctrl, clocks[r], fields, origins,
+                progress, ev, t0_ns, crash=(cfg.crash_rank == r))
+        live = list(ranks)
+        spins = 0
+        last_progress = -1
+        while live:
+            for r in list(live):
+                try:
+                    next(gens[r])
+                except StopIteration:
+                    live.remove(r)
+                    progress[0] += 1
+            if ctrl[1]:
+                raise _Abort
+            if progress[0] == last_progress:
+                spins += 1
+                if spins > _SPIN_PASSES:
+                    time.sleep(min(_SLEEP_MAX,
+                                   _SLEEP_MIN * (spins - _SPIN_PASSES)))
+            else:
+                spins = 0
+                last_progress = progress[0]
+        for r in ranks:
+            c = clocks[r]
+            statsf[r, 0] = c.clock_ns / 1e9
+            statsf[r, 1] = c.compute_ns / 1e9
+            statsf[r, 2] = c.comm_ns / 1e9
+            statsi[r, 0] = c.sends
+            statsi[r, 1] = c.recvs
+            statsi[r, 2] = c.elems_sent
+        if cfg.collect_trace and trace_q is not None:
+            trace_q.put((worker_id, per_rank_events))
+        os._exit(0)
+    except _Abort:
+        os._exit(3)
+    except BaseException:
+        try:
+            if segs:
+                np.frombuffer(segs[0].buf, dtype=np.int64)[1] = 1
+            error_q.put((worker_id, tuple(ranks),
+                         traceback.format_exc()))
+        finally:
+            os._exit(1)
+
+
+# -- parent driver -------------------------------------------------------------------
+
+
+def _partition(nranks: int, nworkers: int) -> List[Tuple[int, ...]]:
+    """Round-robin ranks over workers (rank i -> worker i % W)."""
+    out: List[List[int]] = [[] for _ in range(nworkers)]
+    for r in range(nranks):
+        out[r % nworkers].append(r)
+    return [tuple(x) for x in out]
+
+
+def _drain_error(error_q: Any, fallback: str) -> str:
+    """Best remote traceback available, else the generic message."""
+    msg = fallback
+    try:
+        while not error_q.empty():
+            wid, ranks, tb = error_q.get()
+            msg = f"worker {wid} (ranks {list(ranks)}) crashed:\n{tb}"
+    except Exception:
+        pass
+    return msg
+
+
+def run_parallel(program: TiledProgram, spec: ClusterSpec,
+                 init_value: InitFn,
+                 workers: Optional[int] = None,
+                 dtype: type = np.float64,
+                 protocol: str = "spec",
+                 mailbox_depth: int = 8,
+                 timeout: float = 300.0,
+                 trace: Optional[EventTrace] = None,
+                 start_method: Optional[str] = None,
+                 _crash_rank: Optional[int] = None,
+                 ) -> Tuple[Dict[str, DenseField], RunStats]:
+    """Execute ``program`` with real OS-process parallelism.
+
+    Returns ``(fields, stats)`` exactly like ``execute_dense``, except
+    the :class:`RunStats` clocks are *measured* wall-clock seconds per
+    rank (compute/comm split measured too; idle = makespan - both).
+    ``workers`` caps the number of OS processes (default: one per
+    processor, bounded by the host's CPU count; values above the
+    processor count are clamped — extra processes would only idle).
+    """
+    if protocol not in ("eager", "rendezvous", "spec"):
+        raise ValueError(f"unknown protocol {protocol!r}")
+    if mailbox_depth < 1:
+        raise ValueError("mailbox_depth must be >= 1")
+    nranks = program.num_processors
+    if workers is None:
+        workers = min(nranks, os.cpu_count() or 1)
+    workers = max(1, min(int(workers), nranks))
+    np_dtype = np.dtype(dtype)
+
+    # Freeze the schedule and prewarm every region mask/count before
+    # forking, so children share the caches copy-on-write.
+    program.prewarm_region_counts()
+    plans = build_rank_plans(program)
+    edges = build_edges(plans, mailbox_depth)
+    meta_words = max(1, sum(2 + e.depth for e in edges.values()))
+    data_words = max(1, sum(e.depth * e.capacity
+                            for e in edges.values()))
+
+    field_layout: List[Tuple[str, Tuple[int, ...], Tuple[int, ...]]] = []
+    proto_fields: Dict[str, DenseField] = {}
+    for stmt in program.nest.statements:
+        arr = stmt.write.array
+        if arr in proto_fields:
+            continue
+        f = field_for_write(stmt.write, program.nest.domain, np_dtype)
+        proto_fields[arr] = f
+        field_layout.append((arr, tuple(f.origin), f.values.shape))
+
+    created: Dict[str, _shm.SharedMemory] = {}
+
+    def new_seg(key: str, nbytes: int) -> _shm.SharedMemory:
+        seg = _shm.SharedMemory(create=True, size=max(1, nbytes))
+        created[key] = seg
+        return seg
+
+    procs: List[Any] = []
+    # All numpy views over the shared segments live in this dict so the
+    # cleanup path can drop them before closing the mmaps.
+    views: Dict[str, np.ndarray] = {}
+    try:
+        ctrl_seg = new_seg("ctrl", (2 + workers) * 8)
+        meta_seg = new_seg("meta", meta_words * 8)
+        data_seg = new_seg("data", data_words * np_dtype.itemsize)
+        statsf_seg = new_seg("statsf", nranks * 3 * 8)
+        statsi_seg = new_seg("statsi", nranks * 3 * 8)
+        views["ctrl"] = np.frombuffer(ctrl_seg.buf, dtype=np.int64)
+        views["ctrl"][:] = 0
+        views["meta"] = np.frombuffer(meta_seg.buf, dtype=np.int64)
+        views["meta"][:] = 0
+        views["statsf"] = np.frombuffer(statsf_seg.buf,
+                                        dtype=np.float64)
+        views["statsf"][:] = 0.0
+        views["statsi"] = np.frombuffer(statsi_seg.buf, dtype=np.int64)
+        views["statsi"][:] = 0
+        field_segs: List[Tuple[str, str, str]] = []
+        for arr, _origin, shp in field_layout:
+            count = 1
+            for s in shp:
+                count *= s
+            vseg = new_seg(f"values:{arr}", count * np_dtype.itemsize)
+            wseg = new_seg(f"written:{arr}", count)
+            views[f"values:{arr}"] = np.frombuffer(vseg.buf,
+                                                   dtype=np_dtype)
+            views[f"values:{arr}"][:] = 0
+            views[f"written:{arr}"] = np.frombuffer(wseg.buf,
+                                                    dtype=np.uint8)
+            views[f"written:{arr}"][:] = 0
+            field_segs.append((arr, vseg.name, wseg.name))
+        segments = _Segments(
+            ctrl=ctrl_seg.name, meta=meta_seg.name, data=data_seg.name,
+            statsf=statsf_seg.name, statsi=statsi_seg.name,
+            fields=tuple(field_segs))
+        cfg = _RunConfig(
+            dtype_str=np_dtype.str, protocol=protocol, nranks=nranks,
+            nworkers=workers, collect_trace=trace is not None,
+            crash_rank=_crash_rank, field_layout=tuple(field_layout))
+
+        import multiprocessing as _mp
+        methods = _mp.get_all_start_methods()
+        method = start_method or (
+            "fork" if "fork" in methods else "spawn")
+        ctx = get_context(method)
+        error_q = ctx.SimpleQueue()
+        trace_q = ctx.SimpleQueue() if trace is not None else None
+        for wid, ranks in enumerate(_partition(nranks, workers)):
+            p = ctx.Process(
+                target=_worker_main,
+                args=(wid, ranks, program, spec, init_value, plans,
+                      edges, segments, cfg, error_q, trace_q),
+                daemon=True)
+            p.start()
+            procs.append(p)
+
+        deadline = time.monotonic() + timeout
+        trace_payloads: List[Tuple[int, Dict[int, List[Event]]]] = []
+
+        def watch(phase: str) -> None:
+            """Poll for crashes/timeout; raise a clean error if any."""
+            # Drain the trace queue continuously: a worker blocking on
+            # a full queue pipe while the parent waits for its exit
+            # would be a deadlock of our own making.
+            if trace_q is not None:
+                while not trace_q.empty():
+                    trace_payloads.append(trace_q.get())
+            if not error_q.empty():
+                raise ParallelWorkerError(_drain_error(
+                    error_q, "worker reported an error"))
+            for p in procs:
+                code = p.exitcode
+                if code is not None and code not in (0, 3):
+                    # Give the error queue a beat to surface the
+                    # traceback the dying worker enqueued.
+                    time.sleep(_POLL)
+                    raise ParallelWorkerError(_drain_error(
+                        error_q,
+                        f"worker died with exit code {code} during "
+                        f"{phase} (no traceback captured)"))
+            if time.monotonic() > deadline:
+                raise ParallelTimeoutError(
+                    f"parallel run did not complete within "
+                    f"{timeout:.0f}s during {phase} (hang or "
+                    f"deadlock); protocol={protocol!r}")
+
+        while int(views["ctrl"][2:2 + workers].sum()) < workers:
+            watch("startup")
+            time.sleep(_POLL)
+        views["ctrl"][0] = 1  # go
+        while any(p.exitcode is None for p in procs):
+            watch("execution")
+            time.sleep(_POLL)
+        watch("shutdown")  # final crash sweep
+
+        # Copy results out of shared memory inside helpers so no numpy
+        # view outlives this block (lingering views would prevent the
+        # finally-clause from closing the mmaps).
+        def collect_stats() -> Tuple[RunStats, int]:
+            statsf = views["statsf"].reshape(nranks, 3)
+            statsi = views["statsi"].reshape(nranks, 3)
+            rank_clocks = {r: float(statsf[r, 0])
+                           for r in range(nranks)}
+            return RunStats(
+                makespan=(max(rank_clocks.values())
+                          if rank_clocks else 0.0),
+                clocks=rank_clocks,
+                total_messages=int(statsi[:, 0].sum()),
+                total_elements=int(statsi[:, 2].sum()),
+                compute_time={r: float(statsf[r, 1])
+                              for r in range(nranks)},
+                comm_time={r: float(statsf[r, 2])
+                           for r in range(nranks)},
+            ), int(statsi[:, 1].sum())
+
+        def collect_field(arr: str, proto: DenseField) -> DenseField:
+            return DenseField(
+                origin=proto.origin,
+                values=views[f"values:{arr}"].reshape(
+                    proto.values.shape).copy(),
+                written=views[f"written:{arr}"].reshape(
+                    proto.values.shape).astype(bool))
+
+        stats, recvs = collect_stats()
+        if recvs != stats.total_messages:
+            raise ParallelRuntimeError(
+                f"unmatched messages: {stats.total_messages} sent, "
+                f"{recvs} received")
+        fields: Dict[str, DenseField] = {
+            arr: collect_field(arr, proto)
+            for arr, proto in proto_fields.items()
+        }
+        if trace is not None and trace_q is not None:
+            while not trace_q.empty():
+                trace_payloads.append(trace_q.get())
+            for _wid, per_rank in sorted(trace_payloads):
+                for rank in sorted(per_rank):
+                    for kind, a_ns, b_ns, peer, tag, nelems in \
+                            per_rank[rank]:
+                        trace.record(
+                            kind=kind, rank=rank, start=a_ns / 1e9,
+                            end=b_ns / 1e9,
+                            peer=None if peer < 0 else peer,
+                            tag=None if tag < 0 else tag,
+                            nelems=nelems, label="measured")
+        return fields, stats
+    finally:
+        if "ctrl" in views:
+            views["ctrl"][1] = 1  # abort any survivors before teardown
+        for p in procs:
+            if p.exitcode is None:
+                p.join(timeout=2.0)
+            if p.exitcode is None:
+                p.terminate()
+                p.join(timeout=2.0)
+        # Drop every view before closing the mmaps, then release the
+        # segments.  On an exception path a traceback can still pin a
+        # view through frame references; the mmap then cannot be closed
+        # here — neutralise the segment so its __del__ stays silent and
+        # let the mapping die with the last view, but always unlink so
+        # the name (and the backing pages) are reclaimed.
+        views.clear()
+        for seg in created.values():
+            try:
+                seg.close()
+            except BufferError:
+                seg._buf = None      # type: ignore[attr-defined]
+                seg._mmap = None     # type: ignore[attr-defined]
+                try:
+                    os.close(seg._fd)    # type: ignore[attr-defined]
+                    seg._fd = -1         # type: ignore[attr-defined]
+                except OSError:
+                    pass
+            try:
+                seg.unlink()
+            except Exception:
+                pass

@@ -1,0 +1,297 @@
+"""Correctness and failure modes of the real multiprocess backend.
+
+The dense engine is the reference: every parallel run here must be
+**bitwise** identical (``tol=0.0``) — same batched kernels, same pack
+order, so any drift is a transport bug, not float noise.  RunStats
+event counts must equal the simulator's.  The failure-mode tests pin
+the contract that a broken run *reports* instead of hanging: worker
+crashes surface as :class:`ParallelWorkerError` with the remote
+traceback, genuine protocol deadlocks as
+:class:`ParallelTimeoutError` (mirroring the simulator's
+``DeadlockError`` on the same schedule).
+"""
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import adi, heat, jacobi, sor
+from repro.runtime import (
+    ClusterSpec,
+    DistributedRun,
+    EventTrace,
+    ParallelRuntimeError,
+    ParallelTimeoutError,
+    ParallelWorkerError,
+    TiledProgram,
+    arrays_match,
+    dense_to_cells,
+    run_parallel,
+)
+from repro.runtime.parallel import (
+    EdgeSpec,
+    _Edge,
+    build_edges,
+    build_rank_plans,
+)
+from repro.runtime.vmpi import DeadlockError
+
+SPEC = ClusterSpec()
+
+# (app, tiling, mapping_dim) — the dense-engine matrix, minus the
+# heaviest entries (each parallel run spawns real OS processes).
+PARALLEL_CONFIGS = [
+    pytest.param(sor.app(4, 6), sor.h_rectangular(2, 3, 4), 2,
+                 id="sor-rect"),
+    pytest.param(sor.app(4, 6), sor.h_nonrectangular(2, 3, 4), 2,
+                 id="sor-nonrect"),
+    pytest.param(sor.app(5, 7), sor.h_rectangular(3, 4, 5), 2,
+                 id="sor-partial-tiles"),
+    pytest.param(jacobi.app(3, 5, 5), jacobi.h_rectangular(2, 3, 3), 0,
+                 id="jacobi-rect"),
+    pytest.param(adi.app(4, 5), adi.h_rectangular(2, 3, 3), 0,
+                 id="adi-rect"),
+    pytest.param(heat.app(4, 8), heat.h_rectangular(2, 4), 1,
+                 id="heat-rect"),
+]
+
+
+def _dense_ref(app, h, mdim):
+    prog = TiledProgram(app.nest, h, mapping_dim=mdim)
+    fields, stats = DistributedRun(prog, SPEC).execute_dense(
+        app.init_value)
+    return prog, dense_to_cells(fields), stats
+
+
+class TestBitwiseAgainstDense:
+    @pytest.mark.parametrize("app,h,mdim", PARALLEL_CONFIGS)
+    def test_matches_dense_engine(self, app, h, mdim):
+        prog, ref, ref_stats = _dense_ref(app, h, mdim)
+        fields, stats = run_parallel(prog, SPEC, app.init_value,
+                                     workers=2)
+        assert arrays_match(dense_to_cells(fields), ref, tol=0.0)
+        # Event counts must equal the simulator's (the clocks are
+        # measured wall time, so only the counting side is comparable).
+        assert stats.total_messages == ref_stats.total_messages
+        assert stats.total_elements == ref_stats.total_elements
+
+    def test_single_worker_matches(self):
+        app, h = sor.app(4, 6), sor.h_rectangular(2, 3, 4)
+        prog, ref, _ = _dense_ref(app, h, 2)
+        fields, _ = run_parallel(prog, SPEC, app.init_value, workers=1)
+        assert arrays_match(dense_to_cells(fields), ref, tol=0.0)
+
+    def test_workers_above_processor_count_clamped(self):
+        app, h = sor.app(4, 6), sor.h_rectangular(2, 3, 4)
+        prog, ref, _ = _dense_ref(app, h, 2)
+        fields, _ = run_parallel(prog, SPEC, app.init_value,
+                                 workers=prog.num_processors + 50)
+        assert arrays_match(dense_to_cells(fields), ref, tol=0.0)
+
+    def test_event_counts_match_simulator(self):
+        app, h = jacobi.app(3, 5, 5), jacobi.h_rectangular(2, 3, 3)
+        prog = TiledProgram(app.nest, h, mapping_dim=0)
+        sim_stats = DistributedRun(prog, SPEC).simulate()
+        _, stats = run_parallel(prog, SPEC, app.init_value, workers=2)
+        assert stats.total_messages == sim_stats.total_messages
+        assert stats.total_elements == sim_stats.total_elements
+
+    def test_executor_method_and_trace(self):
+        app, h = sor.app(4, 6), sor.h_rectangular(2, 3, 4)
+        prog = TiledProgram(app.nest, h, mapping_dim=2)
+        trace = EventTrace()
+        run = DistributedRun(prog, SPEC, trace=trace)
+        fields, stats = run.execute_parallel(app.init_value, workers=2)
+        _, ref, _ = _dense_ref(app, h, 2)
+        assert arrays_match(dense_to_cells(fields), ref, tol=0.0)
+        # One measured send/recv event per message on each side.
+        sends = [e for e in trace.events if e.kind == "send"]
+        recvs = [e for e in trace.events if e.kind == "recv"]
+        assert len(sends) == stats.total_messages
+        assert len(recvs) == stats.total_messages
+        assert all(e.label == "measured" for e in trace.events)
+        assert all(e.end >= e.start >= 0.0 for e in trace.events)
+
+    def test_measured_stats_are_wall_clock(self):
+        app, h = sor.app(4, 6), sor.h_rectangular(2, 3, 4)
+        prog = TiledProgram(app.nest, h, mapping_dim=2)
+        _, stats = run_parallel(prog, SPEC, app.init_value, workers=2)
+        assert stats.makespan > 0.0
+        assert all(c >= 0.0 for c in stats.clocks.values())
+        assert stats.makespan == pytest.approx(
+            max(stats.clocks.values()))
+        for rank in stats.clocks:
+            busy = stats.compute_time[rank] + stats.comm_time[rank]
+            assert busy <= stats.clocks[rank] * 1.001 + 1e-9
+
+
+class TestProtocols:
+    def test_eager_bitwise(self):
+        app, h = sor.app(4, 6), sor.h_rectangular(2, 3, 4)
+        prog, ref, _ = _dense_ref(app, h, 2)
+        fields, _ = run_parallel(prog, SPEC, app.init_value, workers=2,
+                                 protocol="eager")
+        assert arrays_match(dense_to_cells(fields), ref, tol=0.0)
+
+    def test_eager_minimal_mailbox_backpressure(self):
+        # depth=1 forces maximal backpressure: every edge blocks after
+        # one in-flight message; the cooperative scheduler must still
+        # drain the schedule, bitwise-identically.
+        app, h = sor.app(4, 6), sor.h_rectangular(2, 3, 4)
+        prog, ref, _ = _dense_ref(app, h, 2)
+        fields, _ = run_parallel(prog, SPEC, app.init_value, workers=2,
+                                 protocol="eager", mailbox_depth=1)
+        assert arrays_match(dense_to_cells(fields), ref, tol=0.0)
+
+    def test_rendezvous_bitwise_on_safe_schedule(self):
+        # Jacobi's single-tag-per-step schedule is rendezvous-safe
+        # (the simulator agrees); results must still be bitwise.
+        app, h = jacobi.app(3, 5, 5), jacobi.h_rectangular(2, 3, 3)
+        prog, ref, _ = _dense_ref(app, h, 0)
+        fields, _ = run_parallel(prog, SPEC, app.init_value, workers=2,
+                                 protocol="rendezvous")
+        assert arrays_match(dense_to_cells(fields), ref, tol=0.0)
+
+    def test_rendezvous_deadlock_mirrors_simulator(self):
+        # SOR's multi-tag schedule deadlocks under a forced rendezvous
+        # protocol.  The simulator proves it statically; the real
+        # backend must *report* it (timeout), never hang.
+        app, h = sor.app(4, 6), sor.h_rectangular(2, 3, 4)
+        prog = TiledProgram(app.nest, h, mapping_dim=2)
+        spec_rdv = dataclasses.replace(SPEC, rendezvous_threshold=0)
+        with pytest.raises(DeadlockError):
+            DistributedRun(prog, spec_rdv).simulate()
+        with pytest.raises(ParallelTimeoutError):
+            run_parallel(prog, SPEC, app.init_value, workers=2,
+                         protocol="rendezvous", timeout=5.0)
+
+    def test_invalid_arguments(self):
+        app, h = sor.app(4, 6), sor.h_rectangular(2, 3, 4)
+        prog = TiledProgram(app.nest, h, mapping_dim=2)
+        with pytest.raises(ValueError):
+            run_parallel(prog, SPEC, app.init_value, protocol="tcp")
+        with pytest.raises(ValueError):
+            run_parallel(prog, SPEC, app.init_value, mailbox_depth=0)
+
+
+class TestFailureModes:
+    def test_worker_crash_surfaces_cleanly(self):
+        # A crash in any rank must produce ParallelWorkerError with
+        # the remote traceback — promptly, with every worker reaped
+        # and every shared-memory segment released (no hang).
+        app, h = sor.app(4, 6), sor.h_rectangular(2, 3, 4)
+        prog = TiledProgram(app.nest, h, mapping_dim=2)
+        with pytest.raises(ParallelWorkerError) as exc_info:
+            run_parallel(prog, SPEC, app.init_value, workers=2,
+                         timeout=60.0, _crash_rank=1)
+        assert "injected crash in rank 1" in str(exc_info.value)
+
+    def test_crash_leaves_no_shared_memory(self):
+        app, h = sor.app(4, 6), sor.h_rectangular(2, 3, 4)
+        prog = TiledProgram(app.nest, h, mapping_dim=2)
+        before = set(os.listdir("/dev/shm")) if os.path.isdir(
+            "/dev/shm") else set()
+        with pytest.raises(ParallelWorkerError):
+            run_parallel(prog, SPEC, app.init_value, workers=2,
+                         timeout=60.0, _crash_rank=0)
+        if before is not None and os.path.isdir("/dev/shm"):
+            leaked = {n for n in set(os.listdir("/dev/shm")) - before
+                      if n.startswith("psm_")}
+            assert not leaked, f"leaked segments: {leaked}"
+
+
+class TestMailboxRing:
+    def _edge(self, depth, capacity):
+        spec = EdgeSpec(meta_off=0, data_off=0, depth=depth,
+                        capacity=capacity)
+        meta = np.zeros(2 + depth, dtype=np.int64)
+        data = np.zeros(depth * capacity, dtype=np.float64)
+        return _Edge(spec, meta, data)
+
+    def test_fifo_and_wraparound(self):
+        edge = self._edge(depth=2, capacity=3)
+        for round_no in range(5):  # wraps the ring twice
+            assert edge.can_push()
+            edge.push(np.array([float(round_no)]))
+            assert edge.can_pop()
+            got = edge.pop()
+            assert got.tolist() == [float(round_no)]
+        assert not edge.can_pop()
+
+    def test_backpressure_when_full(self):
+        edge = self._edge(depth=2, capacity=1)
+        edge.push(np.array([1.0]))
+        edge.push(np.array([2.0]))
+        assert not edge.can_push()  # ring full: sender must wait
+        assert edge.pop().tolist() == [1.0]
+        assert edge.can_push()
+
+    def test_oversized_message_rejected(self):
+        edge = self._edge(depth=1, capacity=2)
+        with pytest.raises(ParallelRuntimeError):
+            edge.push(np.zeros(3))
+
+    def test_rendezvous_consumed_tracking(self):
+        edge = self._edge(depth=4, capacity=1)
+        msgno = edge.push(np.array([7.0]))
+        assert not edge.consumed(msgno)
+        edge.pop()
+        assert edge.consumed(msgno)
+
+    def test_variable_message_sizes(self):
+        edge = self._edge(depth=2, capacity=4)
+        edge.push(np.array([1.0, 2.0, 3.0]))
+        edge.push(np.array([4.0]))
+        assert edge.pop().tolist() == [1.0, 2.0, 3.0]
+        assert edge.pop().tolist() == [4.0]
+
+
+class TestCompiledPlans:
+    def test_plans_cover_simulator_counts(self):
+        app, h = sor.app(4, 6), sor.h_rectangular(2, 3, 4)
+        prog = TiledProgram(app.nest, h, mapping_dim=2)
+        sim = DistributedRun(prog, SPEC).simulate()
+        plans = build_rank_plans(prog)
+        sends = sum(len(ss) for p in plans.values() for ss in p.sends)
+        recvs = sum(len(rr) for p in plans.values() for rr in p.recvs)
+        elems = sum(s.nelems for p in plans.values()
+                    for ss in p.sends for s in ss)
+        assert sends == sim.total_messages
+        assert recvs == sim.total_messages
+        assert elems == sim.total_elements
+
+    def test_edges_sized_for_largest_message(self):
+        app, h = sor.app(4, 6), sor.h_rectangular(2, 3, 4)
+        prog = TiledProgram(app.nest, h, mapping_dim=2)
+        plans = build_rank_plans(prog)
+        edges = build_edges(plans, depth=8)
+        for plan in plans.values():
+            for ss in plan.sends:
+                for s in ss:
+                    spec = edges[(plan.rank, s.dst_rank, s.tag)]
+                    assert spec.capacity >= s.nelems
+                    assert 1 <= spec.depth <= 8
+
+
+class TestRandomTilings:
+    @settings(max_examples=6, deadline=None)
+    @given(tx=st.integers(2, 4), ty=st.integers(2, 5),
+           tz=st.integers(2, 6))
+    def test_parallel_bitwise_equals_dense(self, tx, ty, tz):
+        """Hypothesis: across random tile shapes the parallel backend
+        is bitwise-identical to the dense engine."""
+        app = sor.app(4, 6)
+        h = sor.h_rectangular(tx, ty, tz)
+        prog = TiledProgram(app.nest, h, mapping_dim=2)
+        ref_fields, ref_stats = DistributedRun(prog, SPEC).execute_dense(
+            app.init_value)
+        fields, stats = run_parallel(prog, SPEC, app.init_value,
+                                     workers=2)
+        assert arrays_match(dense_to_cells(fields),
+                            dense_to_cells(ref_fields), tol=0.0)
+        assert stats.total_messages == ref_stats.total_messages
+        assert stats.total_elements == ref_stats.total_elements
