@@ -12,6 +12,11 @@ estimate) per benchmark and fails on any slowdown above the threshold
 never fail the gate: adding a benchmark must not require touching the
 baseline in the same commit, and CI hosts may legitimately skip
 host-gated entries (e.g. multi-core speedups on a single-core runner).
+An entry recorded as ``{"skipped": reason}`` on either side (the
+recorder writes these when the host cannot run the benchmark
+meaningfully, e.g. ``os.cpu_count() < workers``) is likewise reported
+and never gated — a timing taken on an oversubscribed host measures
+scheduler noise, not the code.
 
 ``--update-baseline`` rewrites the baseline from the current report
 (used locally when a deliberate perf change moves the floor).
@@ -58,6 +63,13 @@ def main(argv=None) -> int:
         if name not in current:
             print(f"SKIP  {name}: in baseline only (not run here)")
             continue
+        if "skipped" in current[name]:
+            print(f"SKIP  {name}: {current[name]['skipped']}")
+            continue
+        if "skipped" in baseline[name]:
+            print(f"SKIP  {name}: baseline recorded a skip "
+                  f"({baseline[name]['skipped']}); nothing to compare")
+            continue
         base = baseline[name]["best_s"]
         now = current[name]["best_s"]
         ratio = now / base if base > 0 else float("inf")
@@ -69,8 +81,11 @@ def main(argv=None) -> int:
         print(f"{status}{name}: {base:.4f}s -> {now:.4f}s "
               f"({ratio:.2f}x baseline, CV {cv:.1%})")
     for name in sorted(set(current) - set(baseline)):
-        print(f"NEW   {name}: {current[name]['best_s']:.4f}s "
-              f"(no baseline yet)")
+        if "skipped" in current[name]:
+            print(f"NEW   {name}: skipped ({current[name]['skipped']})")
+        else:
+            print(f"NEW   {name}: {current[name]['best_s']:.4f}s "
+                  f"(no baseline yet)")
 
     if failures:
         print(f"\n{len(failures)} benchmark(s) regressed beyond "

@@ -80,6 +80,7 @@ class BenchRecorder:
 
     def __init__(self):
         self.results = {}
+        self.skipped = {}
 
     def measure(self, name, fn, repeats=2):
         """Time ``fn`` (min-of ``repeats``, GC off) and record it."""
@@ -90,7 +91,29 @@ class BenchRecorder:
     def record(self, result: TimingResult):
         self.results[result.name] = result
 
+    def skip(self, name, reason):
+        """Record that ``name`` was skipped on this host (e.g. too few
+        CPUs for a parallel benchmark).  The entry lands in the JSON as
+        ``{"skipped": reason}`` so the regression gate can tell a
+        deliberate skip from a missing benchmark — and never gates on
+        it (a 1-CPU runner timing a 2-worker run measures
+        oversubscription noise, not the code)."""
+        self.skipped[name] = str(reason)
+
     def to_report(self):
+        benchmarks = {
+            name: {
+                "best_s": r.best_s,
+                "median_s": r.median_s,
+                "cv": r.cv,
+                "samples": len(r.samples_ns),
+                "rss_mib": r.rss_mib,
+            }
+            for name, r in sorted(self.results.items())
+        }
+        for name, reason in sorted(self.skipped.items()):
+            if name not in benchmarks:
+                benchmarks[name] = {"skipped": reason}
         return {
             "schema": 1,
             "host": {
@@ -98,16 +121,7 @@ class BenchRecorder:
                 "platform": platform.platform(),
                 "cpu_count": os.cpu_count(),
             },
-            "benchmarks": {
-                name: {
-                    "best_s": r.best_s,
-                    "median_s": r.median_s,
-                    "cv": r.cv,
-                    "samples": len(r.samples_ns),
-                    "rss_mib": r.rss_mib,
-                }
-                for name, r in sorted(self.results.items())
-            },
+            "benchmarks": benchmarks,
         }
 
 
@@ -123,7 +137,7 @@ def bench():
 
 def pytest_sessionfinish(session, exitstatus):
     path = os.environ.get("REPRO_BENCH_JSON")
-    if not path or not _RECORDER.results:
+    if not path or not (_RECORDER.results or _RECORDER.skipped):
         return
     with open(path, "w") as fh:
         json.dump(_RECORDER.to_report(), fh, indent=2, sort_keys=True)

@@ -4,11 +4,18 @@ Two layers:
 
 * quick (CI smoke, ``-m quick --quick``): small configs, bitwise
   cross-check against the dense engine, and recorded wall-clock
-  timings for the ``BENCH_*.json`` regression gate.
-* scaling (multi-core hosts only): the acceptance claim — wall-clock
-  speedup > 1.5x at 4 workers on a paper-scale configuration.  Gated
-  on ``os.cpu_count() >= 4``; on a single-core container the parallel
-  backend cannot (and should not pretend to) beat itself.
+  timings for the ``BENCH_*.json`` regression gate.  Parallel timings
+  are **host-gated**: when ``os.cpu_count() < workers`` the benchmark
+  records a skip entry instead of a number — a 1-CPU runner timing a
+  2-worker run measures oversubscription noise (the PR 4 baseline's
+  ``parallel_sor_quick_w2`` CV of 0.14 was exactly that), and the
+  regression gate must not fail on scheduler jitter.
+* scaling (multi-core hosts only): the acceptance claims — wall-clock
+  speedup > 1.5x at 4 workers on a paper-scale configuration, and the
+  overlapped schedule never slower / >= 3% faster on the
+  latency-bound small-tile config.  Gated on ``os.cpu_count() >= 4``;
+  on a single-core container the parallel backend cannot (and should
+  not pretend to) beat itself.
 """
 
 import os
@@ -26,17 +33,30 @@ from repro.runtime import (
 
 #: Speedup floor at 4 workers (acceptance criterion: > 1.5x).
 SPEEDUP_FLOOR = 1.5
+#: Overlap acceptance: >= 3% faster than blocking on the small-tile
+#: (latency-bound) SOR config at 4 workers.
+OVERLAP_GAIN_FLOOR = 0.03
 
 QUICK_CONFIG = (lambda: sor.app(8, 12), lambda: sor.h_rectangular(2, 3, 4), 2)
 #: Paper-scale-ish: enough compute per rank that process startup and
 #: mailbox traffic amortise (~seconds of single-worker runtime).
 SCALE_CONFIG = (lambda: sor.app(40, 60), lambda: sor.h_rectangular(8, 25, 10),
                 2)
+#: Latency-bound: many small tiles, so per-message latency dominates
+#: and hiding it behind interior compute has the most to win (the
+#: region where the simulator ablation predicted the largest gain).
+SMALL_TILE_CONFIG = (lambda: sor.app(24, 48),
+                     lambda: sor.h_rectangular(2, 6, 4), 2)
+
+
+def _enough_cpus(workers):
+    return (os.cpu_count() or 1) >= workers
 
 
 @pytest.mark.quick
 def test_parallel_quick_bitwise_and_timed(request, bench):
-    """CI smoke: parallel == dense bitwise, timings recorded."""
+    """CI smoke: parallel == dense bitwise; timings recorded only on
+    hosts with enough CPUs to make them meaningful."""
     app_fn, h_fn, mdim = QUICK_CONFIG
     app, h = app_fn(), h_fn()
     prog = TiledProgram(app.nest, h, mapping_dim=mdim)
@@ -49,14 +69,54 @@ def test_parallel_quick_bitwise_and_timed(request, bench):
         captured["result"] = run.execute_parallel(
             app.init_value, workers=2)
 
-    result = bench.measure("parallel_sor_quick_w2", one_run, repeats=2)
+    if _enough_cpus(2):
+        result = bench.measure("parallel_sor_quick_w2", one_run,
+                               repeats=2)
+        print(f"\nparallel quick (w=2): best {result.best_s:.3f}s, "
+              f"median {result.median_s:.3f}s, CV {result.cv:.1%}")
+    else:
+        bench.skip("parallel_sor_quick_w2",
+                   f"os.cpu_count()={os.cpu_count()} < 2 workers "
+                   f"(oversubscribed timing is noise)")
+        one_run()       # still verify correctness, just don't time it
     fields, stats = captured["result"]
     assert arrays_match(dense_to_cells(fields),
                         dense_to_cells(ref_fields), tol=0.0)
     assert stats.total_messages == ref_stats.total_messages
     assert stats.total_elements == ref_stats.total_elements
-    print(f"\nparallel quick (w=2): best {result.best_s:.3f}s, "
-          f"median {result.median_s:.3f}s, CV {result.cv:.1%}")
+
+
+@pytest.mark.quick
+def test_overlap_quick_bitwise_and_timed(bench):
+    """CI smoke for the overlapped schedule: bitwise identical to the
+    dense engine; timing recorded as ``overlap_sor_quick`` (host-gated
+    like every parallel benchmark)."""
+    app_fn, h_fn, mdim = QUICK_CONFIG
+    app, h = app_fn(), h_fn()
+    prog = TiledProgram(app.nest, h, mapping_dim=mdim)
+    run = DistributedRun(prog, ClusterSpec())
+    ref_fields, ref_stats = run.execute_dense(app.init_value)
+
+    captured = {}
+
+    def one_run():
+        captured["result"] = run.execute_parallel(
+            app.init_value, workers=2, overlap=True)
+
+    if _enough_cpus(2):
+        result = bench.measure("overlap_sor_quick", one_run, repeats=2)
+        print(f"\noverlap quick (w=2): best {result.best_s:.3f}s, "
+              f"median {result.median_s:.3f}s, CV {result.cv:.1%}")
+    else:
+        bench.skip("overlap_sor_quick",
+                   f"os.cpu_count()={os.cpu_count()} < 2 workers "
+                   f"(oversubscribed timing is noise)")
+        one_run()
+    fields, stats = captured["result"]
+    assert arrays_match(dense_to_cells(fields),
+                        dense_to_cells(ref_fields), tol=0.0)
+    assert stats.total_messages == ref_stats.total_messages
+    assert stats.total_elements == ref_stats.total_elements
 
 
 @pytest.mark.quick
@@ -105,3 +165,51 @@ def test_parallel_speedup_4workers():
     assert speedup > SPEEDUP_FLOOR, (
         f"4-worker speedup {speedup:.2f}x below {SPEEDUP_FLOOR}x "
         f"(t1={t1:.2f}s, t4={t4:.2f}s)")
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="overlap claim needs >= 4 cores")
+def test_overlap_vs_blocking_4workers():
+    """Acceptance: the overlapped schedule is never slower than
+    blocking, and >= 3% faster on the latency-bound small-tile SOR
+    config at 4 workers (where per-message latency dominates and
+    interior compute can hide it).
+
+    Both sides take min-of-3 makespans of the identical program on the
+    identical mailboxes, so the ratio isolates the schedule change.  A
+    small tolerance (2%) guards the never-slower claim against timer
+    jitter on the scale config.
+    """
+    def span(app, h, mdim, workers, overlap):
+        prog = TiledProgram(app.nest, h, mapping_dim=mdim)
+        run = DistributedRun(prog, ClusterSpec())
+        best = float("inf")
+        for _ in range(3):
+            _, stats = run.execute_parallel(
+                app.init_value, workers=workers, overlap=overlap)
+            best = min(best, stats.makespan)
+        return best
+
+    # Never slower (within jitter) on the compute-bound scale config.
+    app_fn, h_fn, mdim = SCALE_CONFIG
+    app, h = app_fn(), h_fn()
+    t_block = span(app, h, mdim, 4, overlap=False)
+    t_over = span(app, h, mdim, 4, overlap=True)
+    print(f"\noverlap vs blocking (scale): {t_block:.3f}s -> "
+          f"{t_over:.3f}s ({t_block / t_over:.3f}x)")
+    assert t_over <= t_block * 1.02, (
+        f"overlap slower on the scale config: {t_over:.3f}s vs "
+        f"{t_block:.3f}s blocking")
+
+    # >= 3% faster where latency dominates.
+    app_fn, h_fn, mdim = SMALL_TILE_CONFIG
+    app, h = app_fn(), h_fn()
+    t_block = span(app, h, mdim, 4, overlap=False)
+    t_over = span(app, h, mdim, 4, overlap=True)
+    gain = 1.0 - t_over / t_block
+    print(f"overlap vs blocking (small-tile): {t_block:.3f}s -> "
+          f"{t_over:.3f}s (gain {gain:.1%})")
+    assert gain >= OVERLAP_GAIN_FLOOR, (
+        f"overlap gain {gain:.1%} below {OVERLAP_GAIN_FLOOR:.0%} on "
+        f"the latency-bound config (blocking {t_block:.3f}s, "
+        f"overlap {t_over:.3f}s)")

@@ -31,6 +31,11 @@ from typing import Callable, Iterator, Tuple
 #: Warn when run-to-run spread (CV = stdev/mean) exceeds this.
 CV_WARN_THRESHOLD = 0.10
 
+#: Adaptive resampling ceiling: a measurement whose CV exceeds the
+#: threshold keeps sampling (min-of-2 escalates toward min-of-5) until
+#: the spread settles or this many samples have been taken.
+MAX_REPEATS = 5
+
 
 @contextmanager
 def gc_disabled() -> Iterator[None]:
@@ -96,10 +101,30 @@ def time_fn(name: str, fn: Callable[[], object],
 
     Warms nothing and discards nothing: with min-of summary the first,
     cache-cold sample can only lose, never bias the gate downward.
+
+    Adaptive resampling: when the spread across the initial samples
+    exceeds :data:`CV_WARN_THRESHOLD`, additional samples are taken
+    (up to :data:`MAX_REPEATS` total) before summarising — min-of-2
+    escalates to min-of-5 on a noisy host, so baseline entries stay
+    stable enough for the regression gate instead of only warning.
     """
     samples = []
+
+    def cv_of(vals) -> float:
+        if len(vals) < 2:
+            return 0.0
+        mean = statistics.fmean(vals)
+        if mean == 0:
+            return 0.0
+        return statistics.stdev(vals) / mean
+
     with gc_disabled():
         for _ in range(max(1, repeats)):
+            t0 = time.perf_counter_ns()
+            fn()
+            samples.append(time.perf_counter_ns() - t0)
+        while (cv_of(samples) > CV_WARN_THRESHOLD
+               and len(samples) < MAX_REPEATS):
             t0 = time.perf_counter_ns()
             fn()
             samples.append(time.perf_counter_ns() - t0)

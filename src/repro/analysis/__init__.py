@@ -12,6 +12,12 @@ compiled :class:`~repro.runtime.executor.TiledProgram` is well-formed:
 * :mod:`repro.analysis.bounds` — every LDS address (compute, read,
   halo unpack) stays inside the allocated rectangle and the address
   maps round-trip;
+* :mod:`repro.analysis.overlap` — the overlapped-execution plans are
+  sound (OV01-OV03: zero-copy pack schedules reproduce the blocking
+  payload bytes, sends commit after their last contributing wavefront
+  level, boundary/interior splits partition each level, lazy unpacks
+  never defer past the halo's first reader); opt-in via
+  ``analyze_program(..., overlap=True)`` / ``repro analyze --overlap``;
 * :mod:`repro.analysis.verifier` — the driver: legality/tile-size
   prechecks plus the passes above, accumulated into one
   :class:`~repro.analysis.diagnostics.AnalysisReport`;
@@ -36,6 +42,7 @@ from repro.analysis.schedule_model import RecvOp, ScheduleModel, SendOp
 from repro.analysis.deadlock import check_deadlock, check_program_deadlock
 from repro.analysis.races import check_races
 from repro.analysis.bounds import check_bounds
+from repro.analysis.overlap import check_overlap
 from repro.analysis.verifier import (
     VerificationError,
     analyze,
@@ -63,6 +70,7 @@ __all__ = [
     "check_program_deadlock",
     "check_races",
     "check_bounds",
+    "check_overlap",
     "check_tiling",
     "analyze",
     "analyze_tiling",

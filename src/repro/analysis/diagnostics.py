@@ -50,6 +50,12 @@ Diagnostic codes are part of the public contract:
            not equal the ``TiledProgram`` value
 ``TV04``   declared dependence matrix inconsistent with the
            dependences derived from the statement bodies
+``OV01``   overlap pack schedule does not reproduce the blocking
+           payload bytes (positions/points vs lex-ordered region)
+``OV02``   overlap commit level wrong — a send would publish
+           before its last contributing wavefront level
+``OV03``   overlap split is not a within-level partition, or a
+           lazy unpack defers past the halo's first reader
 ========  =======================================================
 """
 

@@ -128,7 +128,8 @@ def analyze_tiling(h, deps: Sequence[Sequence[int]],
 
 
 def analyze_program(program, subject: str = "", *,
-                    deadlock_both: bool = True) -> AnalysisReport:
+                    deadlock_both: bool = True,
+                    overlap: bool = False) -> AnalysisReport:
     """Full post-construction report over a compiled ``TiledProgram``.
 
     ``deadlock_both=False`` analyzes the deadlock pass under the eager
@@ -136,6 +137,12 @@ def analyze_program(program, subject: str = "", *,
     are *warnings* under the dual-protocol policy, so skipping the
     second abstract run never changes ``report.ok`` — it is what the
     construction-time guard uses to stay cheap.
+
+    ``overlap=True`` additionally verifies the overlapped-execution
+    plans (OV01-OV03: pack-payload equality, commit-level legality,
+    boundary/interior partition, lazy-unpack safety).  Opt-in because
+    it builds every tile's overlap plan, which the construction-time
+    guard must not pay for.
     """
     from repro.analysis.bounds import check_bounds
     from repro.analysis.deadlock import check_program_deadlock
@@ -165,11 +172,15 @@ def analyze_program(program, subject: str = "", *,
     report.mark_pass("deadlock")
     report.extend(check_bounds(program))
     report.mark_pass("bounds")
+    if overlap:
+        from repro.analysis.overlap import check_overlap
+        report.extend(check_overlap(program))
+        report.mark_pass("overlap")
     return report
 
 
 def analyze(nest, h, mapping_dim: Optional[int] = None,
-            subject: str = "") -> AnalysisReport:
+            subject: str = "", *, overlap: bool = False) -> AnalysisReport:
     """End-to-end: pre-checks, then compile and run every pass.
 
     When the pre-construction checks fail, the partial report is
@@ -183,7 +194,7 @@ def analyze(nest, h, mapping_dim: Optional[int] = None,
         return pre
     from repro.runtime.executor import TiledProgram
     program = TiledProgram(nest, h, mapping_dim)
-    return analyze_program(program, subject=subject)
+    return analyze_program(program, subject=subject, overlap=overlap)
 
 
 def verify_program(program, subject: str = "") -> AnalysisReport:

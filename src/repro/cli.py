@@ -197,14 +197,16 @@ def cmd_run(args) -> int:
 
     app = _build_app(args.app, args.sizes)
     h = _build_h(args.app, args.shape, args.tile)
+    if args.overlap and args.engine != "parallel":
+        raise SystemExit("--overlap requires --engine parallel")
     prog = TiledProgram(app.nest, h, mapping_dim=app.mapping_dim)
-    run = DistributedRun(prog, ClusterSpec())
+    run = DistributedRun(prog, ClusterSpec(overlap=args.overlap))
     import time as _time
     t0 = _time.perf_counter()
     if args.engine == "parallel":
         fields, stats = run.execute_parallel(
             app.init_value, workers=args.workers,
-            protocol=args.protocol)
+            protocol=args.protocol, overlap=args.overlap)
         arrays = dense_to_cells(fields)
     elif args.engine == "dense":
         fields, stats = run.execute_dense(app.init_value)
@@ -213,7 +215,8 @@ def cmd_run(args) -> int:
         arrays, stats = run.execute(app.init_value)
     wall = _time.perf_counter() - t0
     print(f"engine: {args.engine}"
-          + (f" (workers={args.workers}, protocol={args.protocol})"
+          + (f" (workers={args.workers}, protocol={args.protocol}"
+             + (", overlap" if args.overlap else "") + ")"
              if args.engine == "parallel" else ""))
     print(f"wall-clock: {wall:.3f}s  processors: {prog.num_processors}")
     print(f"messages = {stats.total_messages}, elements = "
@@ -261,7 +264,7 @@ def cmd_analyze(args) -> int:
                + (" (unskewed nest)" if args.unskewed else ""))
     try:
         report = analyze(nest, h, mapping_dim=app.mapping_dim,
-                         subject=subject)
+                         subject=subject, overlap=args.overlap)
         if args.transval and report.ok:
             # Translation validation: freshly emit all four artifacts
             # and statically compare them against the pipeline.  Only
@@ -323,11 +326,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     _common_flags(p_cg)
     p_cg.add_argument("--kind", choices=["sequential", "mpi", "python"],
                       default="mpi")
-    p_cg.add_argument("--engine", choices=["sparse", "dense"],
+    p_cg.add_argument("--engine",
+                      choices=["sparse", "dense", "dense-overlap"],
                       default="sparse",
                       help="for --kind python: also burn the dense "
                            "engine's wavefront slices into the "
-                           "emitted schedule")
+                           "emitted schedule (dense-overlap adds the "
+                           "per-level boundary slice sizes)")
     p_cg.set_defaults(fn=cmd_codegen)
 
     p_sim = sub.add_parser("simulate", help="run on the virtual cluster")
@@ -369,9 +374,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="mailbox protocol: eager, rendezvous, or "
                             "per-message by the cluster spec's "
                             "threshold")
-    p_run.add_argument("--no-check", action="store_true",
+    p_run.add_argument("--overlap", action="store_true",
+                       help="overlapped schedule for --engine "
+                            "parallel: boundary-first compute with "
+                            "zero-copy packing into the mailbox ring "
+                            "and lazy halo unpacking (bitwise "
+                            "identical results)")
+    p_run.add_argument("--no-check", "--no-crosscheck",
+                       dest="no_check", action="store_true",
                        help="skip the bitwise cross-check against the "
-                            "dense engine")
+                            "dense engine (the check re-runs the whole "
+                            "problem single-process, roughly doubling "
+                            "wall time on large configs; see "
+                            "docs/RUNTIME.md)")
     p_run.add_argument("--ranks", type=int, default=8,
                        help="utilization rows to print")
     p_run.set_defaults(fn=cmd_run)
@@ -389,6 +404,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="also translation-validate freshly emitted "
                             "C+MPI/Python code against the symbolic "
                             "pipeline (TV01-TV04 passes)")
+    p_ana.add_argument("--overlap", action="store_true",
+                       help="also verify the overlapped-execution "
+                            "plans (OV01-OV03: pack payload equality, "
+                            "commit-level legality, boundary/interior "
+                            "partition, lazy-unpack safety)")
     p_ana.add_argument("--fail-on-warn", action="store_true",
                        help="exit nonzero on warning diagnostics too, "
                             "not only on errors")

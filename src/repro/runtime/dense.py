@@ -324,6 +324,119 @@ def fix_out_of_domain(vals: np.ndarray, ref: ArrayRef, points: np.ndarray,
 GatherFn = Callable[[ReadPlan, np.ndarray], np.ndarray]
 
 
+# -- overlap splitting --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EdgePackPlan:
+    """Compile-time zero-copy pack schedule of one outgoing message.
+
+    The payload layout is frozen: array-major blocks of ``count``
+    elements, each block in lexicographic lattice order of the pack
+    region (byte-identical to the blocking engine's
+    ``concatenate``-of-gathers).  ``level_lat[L]``/``level_pos[L]``
+    say which lattice points become final at wavefront level ``L`` and
+    where their values land inside each block, so the runtime can
+    scatter freshly-computed boundary values straight into the
+    reserved ring slot and publish at ``commit_level`` — before any
+    interior work of that level runs.
+    """
+
+    direction: Tuple[int, ...]          # full d with 0 at mapping dim
+    count: int                          # region points per array block
+    level_lat: Tuple[np.ndarray, ...]   # per level: lattice indices
+    level_pos: Tuple[np.ndarray, ...]   # per level: block positions
+    commit_level: int                   # last level feeding the region
+
+
+@dataclass(frozen=True)
+class TileOverlapPlan:
+    """Boundary/interior split of one tile's wavefront schedule.
+
+    ``boundary[L]`` holds the level-``L`` points inside some outgoing
+    ``CC`` pack region (they run first and feed the ring slots);
+    ``interior[L]`` the rest.  Their union is exactly the dense
+    engine's level batch, so executing boundary-then-interior is a
+    stable reorder *within* a level — legal because wavefront levels
+    are mutually independent (``s . d' >= 1``) and bitwise-neutral
+    because the kernels are elementwise.  ``recv_need[i]`` is the
+    first level whose points can read the halo delivered by the
+    ``i``-th incoming message, i.e. the latest safe unpack point.
+    """
+
+    nlevels: int
+    boundary: Tuple[np.ndarray, ...]
+    interior: Tuple[np.ndarray, ...]
+    packs: Tuple[EdgePackPlan, ...]     # plan order (send_plan order)
+    recv_need: Tuple[int, ...]          # plan order (receive_plan order)
+
+
+def build_overlap_split(
+    lat: np.ndarray,
+    lex_order: np.ndarray,
+    batches: Sequence[np.ndarray],
+    send_regions: Sequence[Tuple[Tuple[int, ...], np.ndarray]],
+    recv_dirs: Sequence[Tuple[int, ...]],
+    max_dp: Sequence[int],
+) -> TileOverlapPlan:
+    """Derive one tile's :class:`TileOverlapPlan`.
+
+    ``send_regions`` pairs each outgoing direction with its pack-region
+    mask over ``lat`` (already clipped to the tile); ``recv_dirs`` are
+    the incoming tile dependences ``d^S`` in receive-plan order.  A
+    point can read the halo of ``d^S`` only if it sits within the
+    dependence reach of *every* boundary the message crossed
+    (``j'_k < max_l d'_kl`` for each ``k`` with ``d^S_k > 0``), so the
+    earliest level containing such a point bounds how long the unpack
+    may be deferred.
+    """
+    nlat = len(lat)
+    nlev = len(batches)
+    level_of = np.full(nlat, -1, dtype=np.int64)
+    for li, b in enumerate(batches):
+        level_of[b] = li
+    bmask = np.zeros(nlat, dtype=bool)
+    packs: List[EdgePackPlan] = []
+    for direction, region in send_regions:
+        bmask |= region
+        ridx = lex_order[region[lex_order]]
+        lv = level_of[ridx]
+        level_lat: List[np.ndarray] = []
+        level_pos: List[np.ndarray] = []
+        for li in range(nlev):
+            pos = np.nonzero(lv == li)[0].astype(np.int64)
+            level_pos.append(pos)
+            level_lat.append(ridx[pos])
+        packs.append(EdgePackPlan(
+            direction=tuple(int(x) for x in direction),
+            count=int(len(ridx)),
+            level_lat=tuple(level_lat),
+            level_pos=tuple(level_pos),
+            commit_level=int(lv.max()) if len(ridx) else -1,
+        ))
+    boundary: List[np.ndarray] = []
+    interior: List[np.ndarray] = []
+    for b in batches:
+        sel = bmask[b]
+        boundary.append(b[sel])
+        interior.append(b[~sel])
+    recv_need: List[int] = []
+    for ds in recv_dirs:
+        readers = level_of >= 0
+        for k, dk in enumerate(ds):
+            if dk > 0:
+                readers &= lat[:, k] < max(int(max_dp[k]), 0)
+        lv = level_of[readers]
+        recv_need.append(int(lv.min()) if len(lv) else 0)
+    return TileOverlapPlan(
+        nlevels=nlev,
+        boundary=tuple(boundary),
+        interior=tuple(interior),
+        packs=tuple(packs),
+        recv_need=tuple(recv_need),
+    )
+
+
 def apply_kernel(stmt: Statement, points: np.ndarray,
                  vals: List[np.ndarray],
                  dtype: type = np.float64) -> np.ndarray:

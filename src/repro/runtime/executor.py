@@ -44,6 +44,8 @@ from repro.loops.nest import LoopNest
 from repro.runtime.dataspace import DenseField
 from repro.runtime.dense import (
     ReadPlan,
+    TileOverlapPlan,
+    build_overlap_split,
     build_statement_plans,
     evaluate_statement_batch,
     field_for_write,
@@ -101,6 +103,8 @@ class TiledProgram:
                                           Tuple[Tile, ...]]] = {}
         self._dense_s: Optional[Tuple[int, ...]] = None
         self._dense_full_batches: Optional[List[np.ndarray]] = None
+        self._lex_order: Optional[np.ndarray] = None
+        self._overlap_cache: Dict[object, TileOverlapPlan] = {}
         if verify:
             # Guard mode: refuse to hand out a program the static
             # verifier can prove will race, deadlock, or address out of
@@ -183,6 +187,67 @@ class TiledProgram:
             if len(bb):
                 out.append(bb)
         return out
+
+    def dense_lex_order(self) -> np.ndarray:
+        """Lexicographic execution order of the TTIS lattice points —
+        the frozen intra-region payload order every engine packs with."""
+        if self._lex_order is None:
+            lat = self.tiling.ttis.lattice_points_np()
+            self._lex_order = np.lexsort(lat.T[::-1])
+        return self._lex_order
+
+    def overlap_directions(
+        self, tile: Tile,
+    ) -> Tuple[Tuple[Tuple[int, ...], ...], Tuple[Tuple[int, ...], ...]]:
+        """The (send, recv) directions of ``tile`` that carry payload,
+        in plan order — exactly the nonzero messages the parallel
+        backend schedules (zero-element messages are dropped the same
+        way ``build_rank_plans`` drops them)."""
+        sends: List[Tuple[int, ...]] = []
+        for dm, _dst in self.send_plan(tile):
+            full_dir = dm[:self.dist.m] + (0,) + dm[self.dist.m:]
+            if self.region_count(tile, full_dir) > 0:
+                sends.append(full_dir)
+        recvs: List[Tuple[int, ...]] = []
+        for ds, pred, _src in self.receive_plan(tile):
+            if self.region_count(pred, ds) > 0:
+                recvs.append(tuple(int(x) for x in ds))
+        return tuple(sends), tuple(recvs)
+
+    def overlap_plan(self, tile: Tile) -> TileOverlapPlan:
+        """Cached boundary/interior split of ``tile`` (see
+        :class:`~repro.runtime.dense.TileOverlapPlan`).
+
+        A compile-time artifact: full tiles with the same message
+        signature share one plan (the lattice, batches and regions are
+        position-independent for interior tiles); partial tiles get
+        their own, keyed by tile.
+        """
+        sends, recvs = self.overlap_directions(tile)
+        key: object
+        if self.tiling.classify_tile(tile) == "full":
+            key = ("full", sends, recvs)
+        else:
+            key = (tile, sends, recvs)
+        plan = self._overlap_cache.get(key)
+        if plan is None:
+            plan = build_overlap_split(
+                self.tiling.ttis.lattice_points_np(),
+                self.dense_lex_order(),
+                self.dense_level_batches(tile),
+                [(d, self.region_mask(tile, d)) for d in sends],
+                recvs,
+                self.comm.max_dp,
+            )
+            self._overlap_cache[key] = plan
+        return plan
+
+    def prewarm_overlap_plans(self) -> None:
+        """Build every tile's overlap plan (idempotent).  Called before
+        forking workers so children share the plans copy-on-write."""
+        for pid in self.pids:
+            for tile in self.dist.tiles_of(pid):
+                self.overlap_plan(tile)
 
     def full_region_count(self, direction: Sequence[int]) -> int:
         """Pack-region size of an *interior* tile toward ``direction`` —
@@ -769,6 +834,7 @@ class DistributedRun:
         protocol: str = "spec",
         mailbox_depth: int = 8,
         timeout: float = 300.0,
+        overlap: bool = False,
     ) -> Tuple[Dict[str, DenseField], RunStats]:
         """Run the schedule with *real* OS-process parallelism.
 
@@ -779,12 +845,20 @@ class DistributedRun:
         *measured* wall-clock per-rank clocks (the simulator's event
         counts, so ``total_messages``/``total_elements`` still match
         :meth:`simulate` exactly).
+
+        ``overlap=True`` switches every rank to the overlapped
+        schedule: per wavefront level the boundary sub-batch runs
+        first, its values scatter zero-copy into reserved ring slots,
+        each message publishes at its last contributing level, and
+        interior work proceeds while consumers drain the ring (halos
+        are correspondingly unpacked lazily).  Same messages, same
+        bytes, bitwise-identical results.
         """
         from repro.runtime.parallel import run_parallel
         return run_parallel(
             self.program, self.spec, init_value, workers=workers,
             dtype=dtype, protocol=protocol, mailbox_depth=mailbox_depth,
-            timeout=timeout, trace=self.trace)
+            timeout=timeout, trace=self.trace, overlap=overlap)
 
     # -- pack / unpack ------------------------------------------------------------------
 

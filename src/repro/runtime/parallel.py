@@ -70,6 +70,7 @@ from typing import (
     Generator,
     List,
     Optional,
+    Set,
     Tuple,
 )
 
@@ -77,6 +78,7 @@ import numpy as np
 
 from repro.runtime.dataspace import DenseField
 from repro.runtime.dense import (
+    EdgePackPlan,
     ReadPlan,
     build_statement_plans,
     evaluate_statement_batch,
@@ -184,6 +186,7 @@ class _RunConfig:
     nworkers: int
     collect_trace: bool
     crash_rank: Optional[int]
+    overlap: bool
     field_layout: Tuple[Tuple[str, Tuple[int, ...], Tuple[int, ...]],
                         ...]            # (array, origin, shape)
 
@@ -279,7 +282,8 @@ def _attach(name: str) -> _shm.SharedMemory:
 class _Edge:
     """One SPSC mailbox ring, viewed through shared memory."""
 
-    __slots__ = ("depth", "capacity", "head", "tail", "sizes", "slots")
+    __slots__ = ("depth", "capacity", "head", "tail", "sizes", "slots",
+                 "_pending_n")
 
     def __init__(self, spec: EdgeSpec, meta: np.ndarray,
                  data: np.ndarray) -> None:
@@ -292,6 +296,7 @@ class _Edge:
         self.slots = data[spec.data_off:
                           spec.data_off + spec.depth * spec.capacity
                           ].reshape(spec.depth, spec.capacity)
+        self._pending_n = 0
 
     # producer side ------------------------------------------------------------
 
@@ -316,17 +321,52 @@ class _Edge:
         self.head[0] = h + 1
         return h + 1
 
+    def reserve(self, n: int) -> Optional[np.ndarray]:
+        """Zero-copy half of :meth:`push`: hand out a writable view of
+        the next free slot, or ``None`` when the ring is full *right
+        now* (callers fall back to a staging buffer — reservation must
+        never block, that would forfeit the overlap).  The slot stays
+        invisible to the consumer until :meth:`commit` bumps ``head``,
+        so the producer may fill it incrementally, level by level.
+        """
+        if n > self.capacity:
+            raise ParallelRuntimeError(
+                f"message of {n} elements exceeds mailbox capacity "
+                f"{self.capacity}")
+        h = int(self.head[0])
+        if h - int(self.tail[0]) >= self.depth:
+            return None
+        self._pending_n = n
+        return self.slots[h % self.depth, :n]
+
+    def commit(self) -> int:
+        """Publish the slot handed out by :meth:`reserve`; returns the
+        1-based message number.  Size lands before the ``head`` bump —
+        the same store-order discipline as :meth:`push`."""
+        h = int(self.head[0])
+        self.sizes[h % self.depth] = self._pending_n
+        self.head[0] = h + 1
+        return h + 1
+
     # consumer side ------------------------------------------------------------
 
     def can_pop(self) -> bool:
         return int(self.head[0]) > int(self.tail[0])
 
+    def peek(self) -> np.ndarray:
+        """Zero-copy view of the oldest in-flight message.  Valid only
+        until :meth:`release`; the producer cannot reuse the slot while
+        it remains unreleased."""
+        slot = int(self.tail[0]) % self.depth
+        return self.slots[slot, :int(self.sizes[slot])]
+
+    def release(self) -> None:
+        """Retire the message :meth:`peek` exposed (bumps ``tail``)."""
+        self.tail[0] = int(self.tail[0]) + 1
+
     def pop(self) -> np.ndarray:
-        t = int(self.tail[0])
-        slot = t % self.depth
-        n = int(self.sizes[slot])
-        out = self.slots[slot, :n].copy()
-        self.tail[0] = t + 1
+        out = self.peek().copy()
+        self.release()
         return out
 
     def consumed(self, msgno: int) -> bool:
@@ -350,6 +390,22 @@ class _RankClocks:
     clock_ns: int = 0
 
 
+@dataclass
+class _OutMsg:
+    """One in-flight outgoing message of the overlapped schedule:
+    either a reserved ring-slot view (zero-copy) or a staging buffer
+    when the ring was full at reservation time."""
+
+    send: TileSend
+    edge: _Edge
+    pack: EdgePackPlan
+    buf: np.ndarray
+    zero_copy: bool
+    committed: bool = False
+    msgno: int = 0
+    first_ns: int = -1
+
+
 def _rank_generator(program: TiledProgram, spec: ClusterSpec,
                     init_value: InitFn, plan: RankPlan,
                     edges: Dict[EdgeKey, _Edge], dtype: np.dtype,
@@ -360,7 +416,8 @@ def _rank_generator(program: TiledProgram, spec: ClusterSpec,
                     progress: List[int],
                     events: Optional[List[Event]],
                     t0_ns: int,
-                    crash: bool) -> Generator[None, None, None]:
+                    crash: bool,
+                    overlap: bool = False) -> Generator[None, None, None]:
     """One rank's node program as a cooperative generator.
 
     Identical math to ``DistributedRun.execute_dense`` (same batches,
@@ -368,6 +425,18 @@ def _rank_generator(program: TiledProgram, spec: ClusterSpec,
     only the transport differs: real shared-memory mailboxes instead
     of simulator yields.  The generator yields exactly when a mailbox
     would block, letting the worker scheduler run its other ranks.
+
+    ``overlap=True`` runs the boundary/interior split schedule: per
+    wavefront level, the points feeding outgoing ``CC`` regions run
+    first and scatter zero-copy into reserved ring slots; each message
+    publishes at its last contributing level (before that level's
+    interior), and incoming halos are unpacked lazily at the first
+    level that reads them.  The split is a within-level reorder of an
+    elementwise schedule, so results stay bitwise identical; message
+    order, counts and bytes are unchanged.  While blocked on any ring,
+    the rank opportunistically drains arrived-but-deferred halos, so
+    the lazy receives can never introduce a wait cycle the blocking
+    schedule does not have.
     """
     prog = program
     nest = prog.nest
@@ -419,95 +488,309 @@ def _rank_generator(program: TiledProgram, spec: ClusterSpec,
     def now() -> int:
         return time.perf_counter_ns() - t0_ns
 
-    for ti, tile in enumerate(plan.tiles):
-        t = dist.chain_index(tile)
-        # RECEIVE (receive-per-tile: unpack each predecessor region) ----
-        for r in plan.recvs[ti]:
-            edge = edges[(r.src_rank, rank, r.tag)]
+    def unpack_halo(r: TileRecv, payload: np.ndarray, tile: Tile,
+                    t: int) -> None:
+        """Scatter one received region into the LDS halo slots."""
+        if len(payload) != r.nelems:
+            raise ParallelRuntimeError(
+                f"rank {rank}: size mismatch at {tile} from "
+                f"{r.pred}: {len(payload)} != {r.nelems}")
+        region = prog.region_mask(r.pred, r.ds)
+        idx = lex_order[region[lex_order]]
+        flat = to_flat(lat[idx], t) - int(
+            (np.asarray(r.ds, dtype=np.int64) * rows_np) @ strides)
+        cnt = len(idx)
+        for ai, arr in enumerate(prog.arrays):
+            local[arr][flat] = payload[ai * cnt:(ai + 1) * cnt]
+
+    def compute_batch(batch: np.ndarray, t: int,
+                      origin: np.ndarray) -> None:
+        """One wavefront (sub-)batch, exactly as the dense engine."""
+        jp = lat[batch]
+        g = tis[batch] + origin
+        wflat = to_flat(jp, t)
+
+        def gather(rp: ReadPlan, gpts: np.ndarray,
+                   _jp: np.ndarray = jp, _t: int = t) -> np.ndarray:
+            assert rp.dep is not None
+            assert rp.dep_prime is not None
+            flat = to_flat(_jp - rp.dep_prime, _t)
+            # Out-of-domain sources can address outside the LDS;
+            # clip, then overwrite below (same as execute_dense).
+            vals = local[rp.ref.array][np.clip(flat, 0, size - 1)]
+            in_dom = np.all(amat @ (gpts - rp.dep).T
+                            <= bvec[:, None], axis=0)
+            if not in_dom.all():
+                fix_out_of_domain(vals, rp.ref, gpts, in_dom,
+                                  init_value)
+            return vals
+
+        for splan in plans:
+            out = evaluate_statement_batch(splan, g, gather, dtype)
+            local[splan.stmt.write.array][wflat] = out
+
+    # comm ns accumulated inside the current tile (overlap mode infers
+    # compute as tile-span minus measured comm; a cell so the helpers
+    # below can add to it).
+    commtile = [0]
+
+    def recv_ready(r: TileRecv, edge: _Edge, tile: Tile, t: int,
+                   w0: Optional[int] = None) -> None:
+        """Unpack the (already arrived) head message of ``edge``
+        zero-copy: scatter straight out of the ring slot, then
+        release it.  ``w0`` carries wait time already spent."""
+        if w0 is None:
             w0 = now()
-            while not edge.can_pop():
-                if ctrl[1]:
-                    raise _Abort
-                yield
-            payload = edge.pop()
-            progress[0] += 1
-            if len(payload) != r.nelems:
-                raise ParallelRuntimeError(
-                    f"rank {rank}: size mismatch at {tile} from "
-                    f"{r.pred}: {len(payload)} != {r.nelems}")
-            region = prog.region_mask(r.pred, r.ds)
-            idx = lex_order[region[lex_order]]
-            flat = to_flat(lat[idx], t) - int(
-                (np.asarray(r.ds, dtype=np.int64) * rows_np) @ strides)
-            cnt = len(idx)
-            for ai, arr in enumerate(prog.arrays):
-                local[arr][flat] = payload[ai * cnt:(ai + 1) * cnt]
-            w1 = now()
-            clocks.comm_ns += w1 - w0
-            clocks.recvs += 1
-            if events is not None:
-                events.append(("recv", w0, w1, r.src_rank, r.tag,
-                               r.nelems))
-        # COMPUTE (batched wavefront levels, as the dense engine) -------
-        c0 = now()
-        origin = np.asarray(tiling.tile_origin(tile), dtype=np.int64)
-        for batch in tile_batches(tile):
-            jp = lat[batch]
-            g = tis[batch] + origin
-            wflat = to_flat(jp, t)
-
-            def gather(rp: ReadPlan, gpts: np.ndarray,
-                       _jp: np.ndarray = jp, _t: int = t) -> np.ndarray:
-                assert rp.dep is not None
-                assert rp.dep_prime is not None
-                flat = to_flat(_jp - rp.dep_prime, _t)
-                # Out-of-domain sources can address outside the LDS;
-                # clip, then overwrite below (same as execute_dense).
-                vals = local[rp.ref.array][np.clip(flat, 0, size - 1)]
-                in_dom = np.all(amat @ (gpts - rp.dep).T
-                                <= bvec[:, None], axis=0)
-                if not in_dom.all():
-                    fix_out_of_domain(vals, rp.ref, gpts, in_dom,
-                                      init_value)
-                return vals
-
-            for splan in plans:
-                out = evaluate_statement_batch(splan, g, gather, dtype)
-                local[splan.stmt.write.array][wflat] = out
-        c1 = now()
-        clocks.compute_ns += c1 - c0
+        unpack_halo(r, edge.peek(), tile, t)
+        edge.release()
+        progress[0] += 1
+        w1 = now()
+        clocks.comm_ns += w1 - w0
+        commtile[0] += w1 - w0
+        clocks.recvs += 1
         if events is not None:
-            events.append(("compute", c0, c1, -1, -1, 0))
-        if crash:
-            raise RuntimeError(
-                f"injected crash in rank {rank} (test hook)")
-        # SEND (pack-per-processor: one message per successor pid) ------
-        for s in plan.sends[ti]:
-            edge = edges[(rank, s.dst_rank, s.tag)]
-            w0 = now()
-            region = prog.region_mask(tile, s.direction)
-            idx = lex_order[region[lex_order]]
-            flat = to_flat(lat[idx], t)
-            payload = np.concatenate([local[a][flat]
-                                      for a in prog.arrays])
-            while not edge.can_push():
-                if ctrl[1]:
-                    raise _Abort
-                yield
-            msgno = edge.push(payload)
-            progress[0] += 1
-            if rendezvous(s.nelems):
-                while not edge.consumed(msgno):
+            events.append(("recv", w0, w1, r.src_rank, r.tag,
+                           r.nelems))
+
+    def drain_ready(due: List[Tuple[int, TileRecv, _Edge]],
+                    tile: Tile, t: int) -> bool:
+        """Pop arrived-but-deferred halos while blocked elsewhere
+        (first remaining message per edge only — rings are FIFO).
+        Keeps the lazy receives from ever extending a wait cycle."""
+        did = False
+        blocked: Set[Tuple[int, int]] = set()
+        still: List[Tuple[int, TileRecv, _Edge]] = []
+        for item in due:
+            _need, r, edge = item
+            key = (r.src_rank, r.tag)
+            if key not in blocked and edge.can_pop():
+                recv_ready(r, edge, tile, t)
+                did = True
+            else:
+                blocked.add(key)
+                still.append(item)
+        due[:] = still
+        return did
+
+    if not overlap:
+        for ti, tile in enumerate(plan.tiles):
+            t = dist.chain_index(tile)
+            # RECEIVE (receive-per-tile: unpack predecessor regions) ----
+            for r in plan.recvs[ti]:
+                edge = edges[(r.src_rank, rank, r.tag)]
+                w0 = now()
+                while not edge.can_pop():
                     if ctrl[1]:
                         raise _Abort
                     yield
-            w1 = now()
-            clocks.comm_ns += w1 - w0
-            clocks.sends += 1
-            clocks.elems_sent += s.nelems
+                payload = edge.pop()
+                progress[0] += 1
+                unpack_halo(r, payload, tile, t)
+                w1 = now()
+                clocks.comm_ns += w1 - w0
+                clocks.recvs += 1
+                if events is not None:
+                    events.append(("recv", w0, w1, r.src_rank, r.tag,
+                                   r.nelems))
+            # COMPUTE (batched wavefront levels, as the dense engine) ---
+            c0 = now()
+            origin = np.asarray(tiling.tile_origin(tile),
+                                dtype=np.int64)
+            for batch in tile_batches(tile):
+                compute_batch(batch, t, origin)
+            c1 = now()
+            clocks.compute_ns += c1 - c0
             if events is not None:
-                events.append(("send", w0, w1, s.dst_rank, s.tag,
-                               s.nelems))
+                events.append(("compute", c0, c1, -1, -1, 0))
+            if crash:
+                raise RuntimeError(
+                    f"injected crash in rank {rank} (test hook)")
+            # SEND (pack-per-processor: one per successor pid) ----------
+            for s in plan.sends[ti]:
+                edge = edges[(rank, s.dst_rank, s.tag)]
+                w0 = now()
+                region = prog.region_mask(tile, s.direction)
+                idx = lex_order[region[lex_order]]
+                flat = to_flat(lat[idx], t)
+                payload = np.concatenate([local[a][flat]
+                                          for a in prog.arrays])
+                while not edge.can_push():
+                    if ctrl[1]:
+                        raise _Abort
+                    yield
+                msgno = edge.push(payload)
+                progress[0] += 1
+                if rendezvous(s.nelems):
+                    while not edge.consumed(msgno):
+                        if ctrl[1]:
+                            raise _Abort
+                        yield
+                w1 = now()
+                clocks.comm_ns += w1 - w0
+                clocks.sends += 1
+                clocks.elems_sent += s.nelems
+                if events is not None:
+                    events.append(("send", w0, w1, s.dst_rank, s.tag,
+                                   s.nelems))
+    else:
+        for ti, tile in enumerate(plan.tiles):
+            t = dist.chain_index(tile)
+            origin = np.asarray(tiling.tile_origin(tile),
+                                dtype=np.int64)
+            oplan = prog.overlap_plan(tile)
+            nlev = oplan.nlevels
+            tile0 = now()
+            commtile[0] = 0
+            # Outgoing: reserve a ring slot per message so boundary
+            # values scatter straight into shared memory; a full ring
+            # falls back to a staging buffer (reservation never
+            # blocks — blocking here would forfeit the overlap).
+            outs: List[_OutMsg] = []
+            for s, pk in zip(plan.sends[ti], oplan.packs):
+                edge = edges[(rank, s.dst_rank, s.tag)]
+                view = edge.reserve(s.nelems)
+                if view is None:
+                    outs.append(_OutMsg(
+                        send=s, edge=edge, pack=pk,
+                        buf=np.empty(s.nelems, dtype=dtype),
+                        zero_copy=False))
+                else:
+                    outs.append(_OutMsg(send=s, edge=edge, pack=pk,
+                                        buf=view, zero_copy=True))
+            # Incoming: unpack whatever already arrived; defer the
+            # rest to the first wavefront level that can read the
+            # halo.  Rings are FIFO, so a deferred message also
+            # defers everything behind it on the same edge, and each
+            # entry's effective need level is the min over itself and
+            # all later same-edge entries.
+            needs = list(oplan.recv_need)
+            floor: Dict[Tuple[int, int], int] = {}
+            for i in reversed(range(len(needs))):
+                rkey = (plan.recvs[ti][i].src_rank,
+                        plan.recvs[ti][i].tag)
+                needs[i] = min(needs[i], floor.get(rkey, needs[i]))
+                floor[rkey] = needs[i]
+            due: List[Tuple[int, TileRecv, _Edge]] = []
+            deferred: Set[Tuple[int, int]] = set()
+            for r, need in zip(plan.recvs[ti], needs):
+                edge = edges[(r.src_rank, rank, r.tag)]
+                rkey = (r.src_rank, r.tag)
+                if rkey not in deferred and edge.can_pop():
+                    recv_ready(r, edge, tile, t)
+                else:
+                    deferred.add(rkey)
+                    due.append((need, r, edge))
+            for li in range(nlev):
+                # halos whose first reader sits on this level: block
+                # now if they have not arrived (plan order preserves
+                # per-edge FIFO — needs are monotone along an edge)
+                if due:
+                    still: List[Tuple[int, TileRecv, _Edge]] = []
+                    for item in due:
+                        need, r, edge = item
+                        if need > li:
+                            still.append(item)
+                            continue
+                        w0 = now()
+                        while not edge.can_pop():
+                            if ctrl[1]:
+                                raise _Abort
+                            yield
+                        recv_ready(r, edge, tile, t, w0)
+                    due = still
+                # boundary first: these values feed outgoing regions
+                bnd = oplan.boundary[li]
+                if len(bnd):
+                    compute_batch(bnd, t, origin)
+                # scatter the freshly-final values into every message
+                # this level contributes to (zero-copy for reserved
+                # slots: this writes shared memory directly)
+                for om in outs:
+                    lat_idx = om.pack.level_lat[li]
+                    if not len(lat_idx):
+                        continue
+                    w0 = now()
+                    if om.first_ns < 0:
+                        om.first_ns = w0
+                    flat = to_flat(lat[lat_idx], t)
+                    pos = om.pack.level_pos[li]
+                    cnt = om.pack.count
+                    for ai, arr in enumerate(prog.arrays):
+                        om.buf[ai * cnt + pos] = local[arr][flat]
+                    dns = now() - w0
+                    clocks.comm_ns += dns
+                    commtile[0] += dns
+                # publish complete messages, oldest plan entry first
+                # (same inter-edge commit order as the blocking
+                # schedule, just earlier in wall time)
+                for om in outs:
+                    if om.committed:
+                        continue
+                    if om.pack.commit_level > li:
+                        break
+                    w0 = now()
+                    if om.first_ns < 0:
+                        om.first_ns = w0
+                    if om.zero_copy:
+                        om.msgno = om.edge.commit()
+                    else:
+                        while not om.edge.can_push():
+                            if ctrl[1]:
+                                raise _Abort
+                            if not drain_ready(due, tile, t):
+                                yield
+                        om.msgno = om.edge.push(om.buf)
+                    om.committed = True
+                    progress[0] += 1
+                    w1 = now()
+                    clocks.comm_ns += w1 - w0
+                    commtile[0] += w1 - w0
+                    clocks.sends += 1
+                    clocks.elems_sent += om.send.nelems
+                    if events is not None:
+                        events.append(("send", om.first_ns, w1,
+                                       om.send.dst_rank, om.send.tag,
+                                       om.send.nelems))
+                # interior: consumers drain the ring while this runs
+                intr = oplan.interior[li]
+                if len(intr):
+                    compute_batch(intr, t, origin)
+            for om in outs:
+                if not om.committed:
+                    raise ParallelRuntimeError(
+                        f"rank {rank}: message to rank "
+                        f"{om.send.dst_rank} tag {om.send.tag} left "
+                        f"unpublished after tile {tile}")
+            # halos deferred past every level (possible only for an
+            # empty tile) must still land before the next tile
+            while due:
+                _need, r, edge = due.pop(0)
+                w0 = now()
+                while not edge.can_pop():
+                    if ctrl[1]:
+                        raise _Abort
+                    yield
+                recv_ready(r, edge, tile, t, w0)
+            if crash:
+                raise RuntimeError(
+                    f"injected crash in rank {rank} (test hook)")
+            # rendezvous completions, deferred to the tile end so the
+            # interior compute overlapped the receiver's drain
+            for om in outs:
+                if rendezvous(om.send.nelems):
+                    w0 = now()
+                    while not om.edge.consumed(om.msgno):
+                        if ctrl[1]:
+                            raise _Abort
+                        yield
+                    dns = now() - w0
+                    clocks.comm_ns += dns
+                    commtile[0] += dns
+            # compute attribution: the tile span not measured as comm
+            tile1 = now()
+            clocks.compute_ns += (tile1 - tile0) - commtile[0]
+            if events is not None:
+                events.append(("compute", tile0, tile1, -1, -1, 0))
     clocks.clock_ns = now()
     # WRITE-BACK (outside the timed region, as in the other engines) ----
     for tile in plan.tiles:
@@ -593,7 +876,8 @@ def _worker_main(worker_id: int, ranks: Tuple[int, ...],
             gens[r] = _rank_generator(
                 program, spec, init_value, plans[r], my_edges, dtype,
                 cfg.protocol, ctrl, clocks[r], fields, origins,
-                progress, ev, t0_ns, crash=(cfg.crash_rank == r))
+                progress, ev, t0_ns, crash=(cfg.crash_rank == r),
+                overlap=cfg.overlap)
         live = list(ranks)
         spins = 0
         last_progress = -1
@@ -669,6 +953,7 @@ def run_parallel(program: TiledProgram, spec: ClusterSpec,
                  timeout: float = 300.0,
                  trace: Optional[EventTrace] = None,
                  start_method: Optional[str] = None,
+                 overlap: bool = False,
                  _crash_rank: Optional[int] = None,
                  ) -> Tuple[Dict[str, DenseField], RunStats]:
     """Execute ``program`` with real OS-process parallelism.
@@ -679,6 +964,14 @@ def run_parallel(program: TiledProgram, spec: ClusterSpec,
     ``workers`` caps the number of OS processes (default: one per
     processor, bounded by the host's CPU count; values above the
     processor count are clamped — extra processes would only idle).
+
+    ``overlap=True`` selects the overlapped schedule: per wavefront
+    level each tile computes its boundary points first, scatters them
+    zero-copy into reserved mailbox slots, publishes each message at
+    its last contributing level, then computes the interior while
+    consumers drain the ring; incoming halos unpack lazily at their
+    first reading level.  Results are bitwise identical to
+    ``overlap=False`` — only the wall-clock schedule changes.
     """
     if protocol not in ("eager", "rendezvous", "spec"):
         raise ValueError(f"unknown protocol {protocol!r}")
@@ -693,6 +986,8 @@ def run_parallel(program: TiledProgram, spec: ClusterSpec,
     # Freeze the schedule and prewarm every region mask/count before
     # forking, so children share the caches copy-on-write.
     program.prewarm_region_counts()
+    if overlap:
+        program.prewarm_overlap_plans()
     plans = build_rank_plans(program)
     edges = build_edges(plans, mailbox_depth)
     meta_words = max(1, sum(2 + e.depth for e in edges.values()))
@@ -756,7 +1051,8 @@ def run_parallel(program: TiledProgram, spec: ClusterSpec,
         cfg = _RunConfig(
             dtype_str=np_dtype.str, protocol=protocol, nranks=nranks,
             nworkers=workers, collect_trace=trace is not None,
-            crash_rank=_crash_rank, field_layout=tuple(field_layout))
+            crash_rank=_crash_rank, overlap=overlap,
+            field_layout=tuple(field_layout))
 
         import multiprocessing as _mp
         methods = _mp.get_all_start_methods()

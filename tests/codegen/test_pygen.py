@@ -147,3 +147,56 @@ class TestDenseEmission:
         app, h, src = dense_generated
         prog = TiledProgram(app.nest, h, mapping_dim=2)
         assert check_pygen_source(prog, src) == []
+
+
+class TestOverlapEmission:
+    @pytest.fixture(scope="class")
+    def overlap_generated(self):
+        app = sor.app(4, 6)
+        h = sor.h_nonrectangular(2, 3, 4)
+        src = generate_python_node_programs(app.nest, h, mapping_dim=2,
+                                            engine="dense-overlap")
+        return app, h, src
+
+    def test_engine_constant(self, overlap_generated):
+        app, h, src = overlap_generated
+        mod = load_generated_module(src)
+        prog = TiledProgram(app.nest, h, mapping_dim=2)
+        assert mod.ENGINE == "dense-overlap"
+        assert mod.WAVEFRONT == prog.dense_schedule_vector()
+
+    def test_boundary_sizes_bounded_by_slices(self, overlap_generated):
+        app, h, src = overlap_generated
+        mod = load_generated_module(src)
+        # tile-compute events carry (time, slice_sizes, boundary_sizes)
+        # with boundary[L] <= slice[L] per level, and at least one
+        # boundary point wherever the tile sends anything.
+        seen = 0
+        for events in mod.SCHEDULES.values():
+            for ev in events:
+                if ev[0] == "compute" and len(ev) == 4:
+                    seen += 1
+                    sizes, bnd = ev[2], ev[3]
+                    assert len(bnd) == len(sizes)
+                    assert all(0 <= b <= s
+                               for b, s in zip(bnd, sizes))
+        assert seen > 0
+
+    def test_same_stats_as_dense_emission(self, overlap_generated):
+        app, h, src = overlap_generated
+        dense_src = generate_python_node_programs(
+            app.nest, h, mapping_dim=2, engine="dense")
+        spec = ClusterSpec()
+        stats = []
+        for s in (dense_src, src):
+            mod = load_generated_module(s)
+            engine = VirtualMPI(
+                spec, {r: mod.node_program(r) for r in mod.RANKS})
+            stats.append(engine.run())
+        assert stats[0] == stats[1]
+
+    def test_passes_translation_validation(self, overlap_generated):
+        from repro.analysis.transval import check_pygen_source
+        app, h, src = overlap_generated
+        prog = TiledProgram(app.nest, h, mapping_dim=2)
+        assert check_pygen_source(prog, src) == []

@@ -35,6 +35,7 @@ from repro.runtime import (
 from repro.runtime.parallel import (
     EdgeSpec,
     _Edge,
+    _partition,
     build_edges,
     build_rank_plans,
 )
@@ -249,6 +250,93 @@ class TestMailboxRing:
         assert edge.pop().tolist() == [1.0, 2.0, 3.0]
         assert edge.pop().tolist() == [4.0]
 
+    def test_reserve_commit_zero_copy(self):
+        # The overlap path's zero-copy protocol: reserve a slot view,
+        # fill it incrementally, publish with commit.  The consumer
+        # must not see the message before commit.
+        edge = self._edge(depth=2, capacity=3)
+        view = edge.reserve(3)
+        assert view is not None and len(view) == 3
+        view[0] = 1.0
+        assert not edge.can_pop()       # invisible until commit
+        view[1:] = [2.0, 3.0]
+        msgno = edge.commit()
+        assert edge.can_pop()
+        assert not edge.consumed(msgno)
+        assert edge.pop().tolist() == [1.0, 2.0, 3.0]
+        assert edge.consumed(msgno)
+
+    def test_reserve_full_ring_returns_none(self):
+        edge = self._edge(depth=1, capacity=2)
+        edge.push(np.array([1.0, 2.0]))
+        assert edge.reserve(1) is None  # never blocks, never raises
+        edge.pop()
+        assert edge.reserve(1) is not None
+
+    def test_reserve_oversized_rejected(self):
+        edge = self._edge(depth=1, capacity=2)
+        with pytest.raises(ParallelRuntimeError):
+            edge.reserve(3)
+
+    def test_reserve_commit_wraparound(self):
+        # Drive head past several multiples of depth through the
+        # reserve/commit path; slot reuse must stay FIFO-correct.
+        edge = self._edge(depth=2, capacity=2)
+        for i in range(7):
+            view = edge.reserve(2)
+            assert view is not None
+            view[:] = [float(i), float(-i)]
+            edge.commit()
+            assert edge.pop().tolist() == [float(i), float(-i)]
+        assert not edge.can_pop()
+
+    def test_capacity_boundary_push_pop_sequence(self):
+        # Fill to exactly depth (capacity boundary), drain one, refill
+        # one, interleaving push and reserve/commit producers.
+        edge = self._edge(depth=3, capacity=1)
+        edge.push(np.array([1.0]))
+        view = edge.reserve(1)
+        view[0] = 2.0
+        edge.commit()
+        edge.push(np.array([3.0]))
+        assert not edge.can_push()
+        assert edge.reserve(1) is None
+        assert edge.peek().tolist() == [1.0]    # zero-copy consumer
+        edge.release()
+        view = edge.reserve(1)
+        assert view is not None
+        view[0] = 4.0
+        edge.commit()
+        assert [edge.pop().tolist() for _ in range(3)] == [
+            [2.0], [3.0], [4.0]]
+
+    def test_peek_release_matches_pop(self):
+        edge = self._edge(depth=2, capacity=2)
+        edge.push(np.array([5.0, 6.0]))
+        got = edge.peek()
+        assert got.tolist() == [5.0, 6.0]
+        edge.release()
+        assert not edge.can_pop()
+
+
+class TestPartition:
+    def test_round_robin(self):
+        assert _partition(5, 2) == [(0, 2, 4), (1, 3)]
+
+    def test_nranks_below_nworkers_leaves_empty_workers(self):
+        # More workers than ranks: the surplus workers get empty
+        # tuples (they start, find nothing to run, and exit cleanly).
+        assert _partition(2, 4) == [(0,), (1,), (), ()]
+
+    def test_single_worker_gets_everything(self):
+        assert _partition(4, 1) == [(0, 1, 2, 3)]
+
+    def test_single_rank(self):
+        assert _partition(1, 3) == [(0,), (), ()]
+
+    def test_empty(self):
+        assert _partition(0, 2) == [(), ()]
+
 
 class TestCompiledPlans:
     def test_plans_cover_simulator_counts(self):
@@ -295,3 +383,143 @@ class TestRandomTilings:
                             dense_to_cells(ref_fields), tol=0.0)
         assert stats.total_messages == ref_stats.total_messages
         assert stats.total_elements == ref_stats.total_elements
+
+    @settings(max_examples=6, deadline=None)
+    @given(tx=st.integers(2, 4), ty=st.integers(2, 5),
+           tz=st.integers(2, 6))
+    def test_overlap_bitwise_equals_dense(self, tx, ty, tz):
+        """Hypothesis: the overlapped schedule stays bitwise-identical
+        across random tile shapes (partial tiles, varying wavefront
+        depths, varying boundary/interior splits)."""
+        app = sor.app(4, 6)
+        h = sor.h_rectangular(tx, ty, tz)
+        prog = TiledProgram(app.nest, h, mapping_dim=2)
+        ref_fields, ref_stats = DistributedRun(prog, SPEC).execute_dense(
+            app.init_value)
+        fields, stats = run_parallel(prog, SPEC, app.init_value,
+                                     workers=2, overlap=True)
+        assert arrays_match(dense_to_cells(fields),
+                            dense_to_cells(ref_fields), tol=0.0)
+        assert stats.total_messages == ref_stats.total_messages
+        assert stats.total_elements == ref_stats.total_elements
+
+
+class TestOverlap:
+    """The overlapped schedule: bitwise identity is the hard bar."""
+
+    @pytest.mark.parametrize("app,h,mdim", PARALLEL_CONFIGS)
+    def test_overlap_matches_dense_engine(self, app, h, mdim):
+        prog, ref, ref_stats = _dense_ref(app, h, mdim)
+        fields, stats = run_parallel(prog, SPEC, app.init_value,
+                                     workers=2, overlap=True)
+        assert arrays_match(dense_to_cells(fields), ref, tol=0.0)
+        assert stats.total_messages == ref_stats.total_messages
+        assert stats.total_elements == ref_stats.total_elements
+
+    @pytest.mark.parametrize("app,h,mdim", PARALLEL_CONFIGS)
+    def test_overlap_matches_blocking_parallel(self, app, h, mdim):
+        """Overlap vs blocking on the same backend: identical fields,
+        identical message/element counts."""
+        prog = TiledProgram(app.nest, h, mapping_dim=mdim)
+        bf, bstats = run_parallel(prog, SPEC, app.init_value,
+                                  workers=2, overlap=False)
+        of, ostats = run_parallel(prog, SPEC, app.init_value,
+                                  workers=2, overlap=True)
+        assert arrays_match(dense_to_cells(of), dense_to_cells(bf),
+                            tol=0.0)
+        assert ostats.total_messages == bstats.total_messages
+        assert ostats.total_elements == bstats.total_elements
+
+    def test_overlap_eager_minimal_mailbox(self):
+        # depth=1 defeats every reservation (the ring is full whenever
+        # the previous message is unconsumed), exercising the staging
+        # fallback and the drain-while-blocked path.
+        app, h = sor.app(4, 6), sor.h_rectangular(2, 3, 4)
+        prog, ref, _ = _dense_ref(app, h, 2)
+        fields, _ = run_parallel(prog, SPEC, app.init_value, workers=2,
+                                 protocol="eager", mailbox_depth=1,
+                                 overlap=True)
+        assert arrays_match(dense_to_cells(fields), ref, tol=0.0)
+
+    def test_overlap_rendezvous_safe_schedule(self):
+        app, h = jacobi.app(3, 5, 5), jacobi.h_rectangular(2, 3, 3)
+        prog, ref, _ = _dense_ref(app, h, 0)
+        fields, _ = run_parallel(prog, SPEC, app.init_value, workers=2,
+                                 protocol="rendezvous", overlap=True)
+        assert arrays_match(dense_to_cells(fields), ref, tol=0.0)
+
+    def test_overlap_single_worker(self):
+        app, h = sor.app(4, 6), sor.h_rectangular(2, 3, 4)
+        prog, ref, _ = _dense_ref(app, h, 2)
+        fields, _ = run_parallel(prog, SPEC, app.init_value, workers=1,
+                                 overlap=True)
+        assert arrays_match(dense_to_cells(fields), ref, tol=0.0)
+
+    def test_overlap_trace_and_clocks(self):
+        app, h = sor.app(4, 6), sor.h_rectangular(2, 3, 4)
+        prog = TiledProgram(app.nest, h, mapping_dim=2)
+        trace = EventTrace()
+        run = DistributedRun(prog, SPEC, trace=trace)
+        fields, stats = run.execute_parallel(app.init_value, workers=2,
+                                             overlap=True)
+        _, ref, _ = _dense_ref(app, h, 2)
+        assert arrays_match(dense_to_cells(fields), ref, tol=0.0)
+        sends = [e for e in trace.events if e.kind == "send"]
+        recvs = [e for e in trace.events if e.kind == "recv"]
+        assert len(sends) == stats.total_messages
+        assert len(recvs) == stats.total_messages
+        assert all(e.end >= e.start >= 0.0 for e in trace.events)
+        for rank in stats.clocks:
+            busy = stats.compute_time[rank] + stats.comm_time[rank]
+            assert busy <= stats.clocks[rank] * 1.001 + 1e-9
+
+    def test_overlap_plan_structure(self):
+        """The compile-time split partitions every level batch and the
+        pack schedules cover each region exactly once."""
+        app, h = sor.app(4, 6), sor.h_rectangular(2, 3, 4)
+        prog = TiledProgram(app.nest, h, mapping_dim=2)
+        lex = prog.dense_lex_order()
+        for pid in prog.pids:
+            for tile in prog.dist.tiles_of(pid):
+                oplan = prog.overlap_plan(tile)
+                batches = prog.dense_level_batches(tile)
+                assert oplan.nlevels == len(batches)
+                for li, b in enumerate(batches):
+                    merged = np.sort(np.concatenate(
+                        [oplan.boundary[li], oplan.interior[li]]))
+                    assert np.array_equal(merged, np.sort(b))
+                sends, _recvs = prog.overlap_directions(tile)
+                for d, pack in zip(sends, oplan.packs):
+                    region = prog.region_mask(tile, d)
+                    ridx = lex[region[lex]]
+                    assert pack.count == len(ridx)
+                    allpos = np.sort(np.concatenate(pack.level_pos))
+                    assert np.array_equal(allpos,
+                                          np.arange(len(ridx)))
+                    assert 0 <= pack.commit_level < oplan.nlevels
+
+    def test_overlap_analysis_pass_clean(self):
+        from repro.analysis import analyze_program, check_overlap
+        app, h = sor.app(4, 6), sor.h_rectangular(2, 3, 4)
+        prog = TiledProgram(app.nest, h, mapping_dim=2)
+        assert check_overlap(prog) == []
+        report = analyze_program(prog, overlap=True)
+        assert "overlap" in report.passes_run
+        assert not [d for d in report.diagnostics
+                    if d.pass_name == "overlap"]
+
+    def test_overlap_analysis_pass_detects_corruption(self):
+        import dataclasses as _dc
+
+        from repro.analysis import check_overlap
+        app, h = sor.app(4, 6), sor.h_rectangular(2, 3, 4)
+        prog = TiledProgram(app.nest, h, mapping_dim=2)
+        prog.prewarm_overlap_plans()
+        # Corrupt one cached plan: claim an earlier commit level.
+        key, plan = next(iter(prog._overlap_cache.items()))
+        bad_packs = tuple(
+            _dc.replace(p, commit_level=max(-1, p.commit_level - 1))
+            for p in plan.packs)
+        prog._overlap_cache[key] = _dc.replace(plan, packs=bad_packs)
+        codes = {d.code for d in check_overlap(prog)}
+        assert "OV02" in codes
