@@ -59,6 +59,7 @@ def main(argv=None) -> int:
     baseline = load(args.baseline)["benchmarks"]
 
     failures = []
+    deltas = []  # (name, base_s, now_s, ratio, cv) for the table below
     for name in sorted(baseline):
         if name not in current:
             print(f"SKIP  {name}: in baseline only (not run here)")
@@ -74,6 +75,7 @@ def main(argv=None) -> int:
         now = current[name]["best_s"]
         ratio = now / base if base > 0 else float("inf")
         cv = current[name].get("cv", 0.0)
+        deltas.append((name, base, now, ratio, cv))
         status = "OK   "
         if ratio > 1.0 + args.threshold:
             status = "FAIL "
@@ -86,6 +88,17 @@ def main(argv=None) -> int:
         else:
             print(f"NEW   {name}: {current[name]['best_s']:.4f}s "
                   f"(no baseline yet)")
+
+    # Per-bench delta table, printed on success too so nightly logs
+    # show the trend (worst first), not only the pass/fail verdict.
+    if deltas:
+        width = max(len(name) for name, *_ in deltas)
+        print(f"\n{'benchmark':<{width}}  {'baseline':>10} "
+              f"{'current':>10} {'delta':>8} {'CV':>6}")
+        for name, base, now, ratio, cv in sorted(
+                deltas, key=lambda d: -d[3]):
+            print(f"{name:<{width}}  {base:>9.4f}s {now:>9.4f}s "
+                  f"{(ratio - 1):>+7.1%} {cv:>6.1%}")
 
     if failures:
         print(f"\n{len(failures)} benchmark(s) regressed beyond "

@@ -28,6 +28,11 @@ from repro.runtime import TiledProgram
 #: Maximum verifier time as a fraction of construction time.
 OVERHEAD_BUDGET = 0.20
 
+#: Maximum HB-certification time as a fraction of construction time.
+#: The certificate walks every schedule event with vector clocks, so
+#: it gets a slightly larger envelope than the channel-count passes.
+HB_BUDGET = 0.30
+
 #: Timing rounds per config; the minimum of each phase is compared.
 ROUNDS = 5
 
@@ -66,6 +71,24 @@ def _measure(make_config):
     return best_v / best_c, best_c, best_v
 
 
+def _measure_hb(make_config):
+    # A fresh program every round: certificates are cached per
+    # program, and the cached path would measure a dict lookup.
+    app, h, mapping_dim = make_config()
+    construct, certify = [], []
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        program = TiledProgram(app.nest, h, mapping_dim)
+        t1 = time.perf_counter()
+        cert = program.hb_certificate()
+        t2 = time.perf_counter()
+        assert cert.ok
+        construct.append(t1 - t0)
+        certify.append(t2 - t1)
+    best_c, best_v = min(construct), min(certify)
+    return best_v / best_c, best_c, best_v
+
+
 @pytest.mark.parametrize("make_config", [
     _sor_config, _jacobi_config, _adi_config,
 ], ids=["sor-200x400-z8", "jacobi-100x200x200-x8", "adi-200x256-x16"])
@@ -78,3 +101,17 @@ def test_bench_verifier_overhead(benchmark, make_config):
         f"verifier overhead {ratio:.1%} exceeds the "
         f"{OVERHEAD_BUDGET:.0%} budget "
         f"(construct {best_c * 1e3:.1f}ms, verify {best_v * 1e3:.1f}ms)")
+
+
+@pytest.mark.parametrize("make_config", [
+    _sor_config, _jacobi_config, _adi_config,
+], ids=["sor-200x400-z8", "jacobi-100x200x200-x8", "adi-200x256-x16"])
+def test_bench_hb_certify_overhead(benchmark, make_config):
+    ratio, best_c, best_v = benchmark.pedantic(
+        _measure_hb, args=(make_config,), rounds=1, iterations=1)
+    print(f"\nconstruct={best_c * 1e3:.1f}ms certify={best_v * 1e3:.1f}ms "
+          f"overhead={ratio:.1%} (budget {HB_BUDGET:.0%})")
+    assert ratio < HB_BUDGET, (
+        f"HB certification overhead {ratio:.1%} exceeds the "
+        f"{HB_BUDGET:.0%} budget "
+        f"(construct {best_c * 1e3:.1f}ms, certify {best_v * 1e3:.1f}ms)")

@@ -18,6 +18,13 @@ compiled :class:`~repro.runtime.executor.TiledProgram` is well-formed:
   level, boundary/interior splits partition each level, lazy unpacks
   never defer past the halo's first reader); opt-in via
   ``analyze_program(..., overlap=True)`` / ``repro analyze --overlap``;
+* :mod:`repro.analysis.hb` — the happens-before concurrency certifier
+  for the *parallel runtime*: vector-clock proofs that every halo
+  write/read pair is HB-ordered (HB01) and the edge-wait graph acyclic
+  (HB02) under each protocol and under the overlap schedule,
+  exhaustive model checking of the SPSC mailbox ring (HB03), and a
+  measured-trace sanitizer (HB04, ``repro sanitize``); opt-in via
+  ``analyze_program(..., hb=True)`` / ``repro analyze --hb``;
 * :mod:`repro.analysis.verifier` — the driver: legality/tile-size
   prechecks plus the passes above, accumulated into one
   :class:`~repro.analysis.diagnostics.AnalysisReport`;
@@ -43,6 +50,14 @@ from repro.analysis.deadlock import check_deadlock, check_program_deadlock
 from repro.analysis.races import check_races
 from repro.analysis.bounds import check_bounds
 from repro.analysis.overlap import check_overlap
+from repro.analysis.hb import (
+    HBCertificate,
+    certify_program,
+    check_hb,
+    check_ring_model,
+    sanitize_report,
+    sanitize_trace,
+)
 from repro.analysis.verifier import (
     VerificationError,
     analyze,
@@ -71,6 +86,12 @@ __all__ = [
     "check_races",
     "check_bounds",
     "check_overlap",
+    "check_hb",
+    "check_ring_model",
+    "certify_program",
+    "HBCertificate",
+    "sanitize_trace",
+    "sanitize_report",
     "check_tiling",
     "analyze",
     "analyze_tiling",

@@ -56,6 +56,17 @@ Diagnostic codes are part of the public contract:
            before its last contributing wavefront level
 ``OV03``   overlap split is not a within-level partition, or a
            lazy unpack defers past the halo's first reader
+``HB01``   happens-before race — a halo write/read pair is not
+           ordered by the vector clocks of the certified parallel
+           schedule (``vc(read)[rank(write)] >= tick(write)``)
+``HB02``   happens-before deadlock — the edge-wait graph of the
+           parallel schedule has a cycle (or stuck ranks) under
+           the analyzed protocol/overlap configuration
+``HB03``   ring protocol violation — the SPSC mailbox model
+           breaks publication-before-consumption, slot reuse, or
+           wraparound safety in some interleaving
+``HB04``   trace nonconformance — a measured event is out of the
+           certified happens-before order (``repro sanitize``)
 ========  =======================================================
 """
 

@@ -129,7 +129,8 @@ def analyze_tiling(h, deps: Sequence[Sequence[int]],
 
 def analyze_program(program, subject: str = "", *,
                     deadlock_both: bool = True,
-                    overlap: bool = False) -> AnalysisReport:
+                    overlap: bool = False,
+                    hb: bool = False) -> AnalysisReport:
     """Full post-construction report over a compiled ``TiledProgram``.
 
     ``deadlock_both=False`` analyzes the deadlock pass under the eager
@@ -143,6 +144,12 @@ def analyze_program(program, subject: str = "", *,
     boundary/interior partition, lazy-unpack safety).  Opt-in because
     it builds every tile's overlap plan, which the construction-time
     guard must not pay for.
+
+    ``hb=True`` additionally runs the happens-before certifier
+    (HB01-HB03: vector-clock race freedom and wait-graph acyclicity
+    of the parallel runtime's schedule under every selectable
+    protocol, blocking and overlapped, plus the mailbox ring protocol
+    model).  Opt-in for the same cost reason as ``overlap``.
     """
     from repro.analysis.bounds import check_bounds
     from repro.analysis.deadlock import check_program_deadlock
@@ -176,11 +183,16 @@ def analyze_program(program, subject: str = "", *,
         from repro.analysis.overlap import check_overlap
         report.extend(check_overlap(program))
         report.mark_pass("overlap")
+    if hb:
+        from repro.analysis.hb import check_hb
+        report.extend(check_hb(program))
+        report.mark_pass("hb")
     return report
 
 
 def analyze(nest, h, mapping_dim: Optional[int] = None,
-            subject: str = "", *, overlap: bool = False) -> AnalysisReport:
+            subject: str = "", *, overlap: bool = False,
+            hb: bool = False) -> AnalysisReport:
     """End-to-end: pre-checks, then compile and run every pass.
 
     When the pre-construction checks fail, the partial report is
@@ -194,7 +206,8 @@ def analyze(nest, h, mapping_dim: Optional[int] = None,
         return pre
     from repro.runtime.executor import TiledProgram
     program = TiledProgram(nest, h, mapping_dim)
-    return analyze_program(program, subject=subject, overlap=overlap)
+    return analyze_program(program, subject=subject, overlap=overlap,
+                           hb=hb)
 
 
 def verify_program(program, subject: str = "") -> AnalysisReport:

@@ -12,8 +12,12 @@ tiling, get code and cluster numbers back:
   OS process per processor with shared-memory halo exchange (measured
   wall-clock utilization, bitwise-checked against the dense engine).
 * ``analyze``   — static verification: legality, race, deadlock and
-  halo-bounds passes over the compiled program, without executing it.
+  halo-bounds passes over the compiled program, without executing it
+  (``--hb`` adds the happens-before certifier, HB01-HB03).
   Exits nonzero when any error-severity diagnostic is found.
+* ``sanitize``  — replay a measured trace (``run --trace-out``)
+  against the static happens-before graph; any event out of certified
+  order is an HB04 error.
 * ``figure``    — regenerate one of the paper's figures (5-10).
 
 Apps are the paper's three benchmarks; sizes and tile factors come from
@@ -194,19 +198,27 @@ def cmd_run(args) -> int:
     from repro.runtime.executor import DistributedRun, TiledProgram
     from repro.runtime.machine import ClusterSpec
     from repro.runtime.metrics import format_metrics, metrics_from_stats
+    from repro.runtime.trace import EventTrace
 
     app = _build_app(args.app, args.sizes)
     h = _build_h(args.app, args.shape, args.tile)
     if args.overlap and args.engine != "parallel":
         raise SystemExit("--overlap requires --engine parallel")
+    if args.trace_out and args.engine != "parallel":
+        raise SystemExit("--trace-out requires --engine parallel")
+    if args.certify and args.engine != "parallel":
+        raise SystemExit("--certify requires --engine parallel")
     prog = TiledProgram(app.nest, h, mapping_dim=app.mapping_dim)
-    run = DistributedRun(prog, ClusterSpec(overlap=args.overlap))
+    trace = EventTrace() if args.trace_out else None
+    run = DistributedRun(prog, ClusterSpec(overlap=args.overlap),
+                         trace=trace)
     import time as _time
     t0 = _time.perf_counter()
     if args.engine == "parallel":
         fields, stats = run.execute_parallel(
             app.init_value, workers=args.workers,
-            protocol=args.protocol, overlap=args.overlap)
+            protocol=args.protocol, overlap=args.overlap,
+            verify=args.certify)
         arrays = dense_to_cells(fields)
     elif args.engine == "dense":
         fields, stats = run.execute_dense(app.init_value)
@@ -223,6 +235,10 @@ def cmd_run(args) -> int:
           f"{stats.total_elements}")
     print()
     print(format_metrics(metrics_from_stats(stats), top=args.ranks))
+    if trace is not None:
+        trace.save(args.trace_out)
+        print(f"wrote {len(trace.events)} trace event(s) to "
+              f"{args.trace_out}")
     if args.no_check:
         return 0
     ref_fields, ref_stats = DistributedRun(
@@ -264,7 +280,8 @@ def cmd_analyze(args) -> int:
                + (" (unskewed nest)" if args.unskewed else ""))
     try:
         report = analyze(nest, h, mapping_dim=app.mapping_dim,
-                         subject=subject, overlap=args.overlap)
+                         subject=subject, overlap=args.overlap,
+                         hb=args.hb)
         if args.transval and report.ok:
             # Translation validation: freshly emit all four artifacts
             # and statically compare them against the pipeline.  Only
@@ -285,6 +302,28 @@ def cmd_analyze(args) -> int:
     failed = bool(report.errors) or (args.fail_on_warn
                                      and bool(report.warnings))
     return 1 if failed else 0
+
+
+def cmd_sanitize(args) -> int:
+    """Replay a measured trace against the static HB graph (HB04)."""
+    from repro.analysis.hb import sanitize_report
+    from repro.runtime.executor import TiledProgram
+    from repro.runtime.trace import EventTrace
+
+    app = _build_app(args.app, args.sizes)
+    h = _build_h(args.app, args.shape, args.tile)
+    try:
+        trace = EventTrace.load(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"sanitize aborted: {exc}", file=sys.stderr)
+        return 1
+    prog = TiledProgram(app.nest, h, mapping_dim=app.mapping_dim)
+    subject = (f"{args.app} sizes={args.sizes} tile={args.tile} "
+               f"shape={args.shape} trace={args.trace}")
+    report = sanitize_report(prog, trace, protocol=args.protocol,
+                             overlap=args.overlap, subject=subject)
+    print(report.to_json() if args.json else report.render_text())
+    return 1 if report.errors else 0
 
 
 def cmd_figure(args) -> int:
@@ -389,6 +428,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "docs/RUNTIME.md)")
     p_run.add_argument("--ranks", type=int, default=8,
                        help="utilization rows to print")
+    p_run.add_argument("--trace-out", default=None,
+                       help="write the measured event trace "
+                            "(versioned JSON) for 'repro sanitize'; "
+                            "requires --engine parallel")
+    p_run.add_argument("--certify", action="store_true",
+                       help="certify the schedule happens-before "
+                            "clean (HB01/HB02) before forking any "
+                            "worker; requires --engine parallel")
     p_run.set_defaults(fn=cmd_run)
 
     p_ana = sub.add_parser(
@@ -409,10 +456,33 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "plans (OV01-OV03: pack payload equality, "
                             "commit-level legality, boundary/interior "
                             "partition, lazy-unpack safety)")
+    p_ana.add_argument("--hb", action="store_true",
+                       help="also run the happens-before certifier "
+                            "(HB01 races, HB02 wait cycles under "
+                            "every protocol, blocking and overlapped "
+                            "schedules, plus the HB03 mailbox-ring "
+                            "model verdict)")
     p_ana.add_argument("--fail-on-warn", action="store_true",
                        help="exit nonzero on warning diagnostics too, "
                             "not only on errors")
     p_ana.set_defaults(fn=cmd_analyze)
+
+    p_san = sub.add_parser(
+        "sanitize", help="replay a measured trace against the static "
+                         "happens-before graph (HB04)")
+    _common_flags(p_san)
+    p_san.add_argument("--trace", required=True,
+                       help="trace file written by "
+                            "'repro run --trace-out'")
+    p_san.add_argument("--protocol",
+                       choices=["spec", "eager", "rendezvous"],
+                       default="spec",
+                       help="protocol the trace was measured under")
+    p_san.add_argument("--overlap", action="store_true",
+                       help="the trace was measured with --overlap")
+    p_san.add_argument("--json", action="store_true",
+                       help="emit the report as JSON instead of text")
+    p_san.set_defaults(fn=cmd_sanitize)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("name", help="fig5 .. fig10")

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     Generator,
@@ -67,6 +68,9 @@ from repro.runtime.vmpi import (
 from repro.tiling.legality import check_legal_tiling
 from repro.tiling.transform import TilingTransformation
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.hb.graph import HBCertificate
+
 Pid = Tuple[int, ...]
 Tile = Tuple[int, ...]
 #: A rank's node program: generator of Send/Recv/Compute requests.
@@ -105,6 +109,7 @@ class TiledProgram:
         self._dense_full_batches: Optional[List[np.ndarray]] = None
         self._lex_order: Optional[np.ndarray] = None
         self._overlap_cache: Dict[object, TileOverlapPlan] = {}
+        self._hb_cache: Dict[object, HBCertificate] = {}
         if verify:
             # Guard mode: refuse to hand out a program the static
             # verifier can prove will race, deadlock, or address out of
@@ -248,6 +253,32 @@ class TiledProgram:
         for pid in self.pids:
             for tile in self.dist.tiles_of(pid):
                 self.overlap_plan(tile)
+
+    def hb_certificate(self, protocol: str = "eager",
+                       overlap: bool = False, mailbox_depth: int = 8,
+                       spec: Optional[ClusterSpec] = None,
+                       ) -> HBCertificate:
+        """Cached happens-before certificate of this program's
+        parallel execution (see :mod:`repro.analysis.hb`): vector-clock
+        race freedom (HB01) and wait-graph acyclicity (HB02) under one
+        ``(protocol, overlap, mailbox_depth)`` configuration.
+
+        Cached like :meth:`overlap_plan` — the certificate is a pure
+        compile-time artifact of the frozen schedule.  Import is lazy
+        for the same layering reason as ``verify=True``.
+        """
+        spec_key = None if spec is None else (
+            spec.rendezvous_threshold, spec.bytes_per_element,
+            spec.overlap)
+        key = (protocol, bool(overlap), int(mailbox_depth), spec_key)
+        cert = self._hb_cache.get(key)
+        if cert is None:
+            from repro.analysis.hb.graph import certify_program
+            cert = certify_program(
+                self, protocol=protocol, overlap=overlap,
+                mailbox_depth=mailbox_depth, spec=spec)
+            self._hb_cache[key] = cert
+        return cert
 
     def full_region_count(self, direction: Sequence[int]) -> int:
         """Pack-region size of an *interior* tile toward ``direction`` —
@@ -835,6 +866,7 @@ class DistributedRun:
         mailbox_depth: int = 8,
         timeout: float = 300.0,
         overlap: bool = False,
+        verify: bool = False,
     ) -> Tuple[Dict[str, DenseField], RunStats]:
         """Run the schedule with *real* OS-process parallelism.
 
@@ -853,12 +885,18 @@ class DistributedRun:
         interior work proceeds while consumers drain the ring (halos
         are correspondingly unpacked lazily).  Same messages, same
         bytes, bitwise-identical results.
+
+        ``verify=True`` certifies the schedule happens-before clean
+        (see :meth:`TiledProgram.hb_certificate`) before any process
+        forks, raising ``VerificationError`` instead of hitting the
+        hazard at run time.
         """
         from repro.runtime.parallel import run_parallel
         return run_parallel(
             self.program, self.spec, init_value, workers=workers,
             dtype=dtype, protocol=protocol, mailbox_depth=mailbox_depth,
-            timeout=timeout, trace=self.trace, overlap=overlap)
+            timeout=timeout, trace=self.trace, overlap=overlap,
+            verify=verify)
 
     # -- pack / unpack ------------------------------------------------------------------
 

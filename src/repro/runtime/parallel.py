@@ -944,6 +944,55 @@ def _drain_error(error_q: Any, fallback: str) -> str:
     return msg
 
 
+def _blocked_edge_lines(plans: Dict[int, RankPlan],
+                        edges: Dict[EdgeKey, EdgeSpec],
+                        meta: np.ndarray,
+                        limit: int = 6) -> List[str]:
+    """Describe every mailbox edge that has not fully drained: the
+    shared head/tail counters name exactly which channel is stuck."""
+    counts: Dict[EdgeKey, int] = {}
+    for plan in plans.values():
+        for ss in plan.sends:
+            for s in ss:
+                key = (plan.rank, s.dst_rank, s.tag)
+                counts[key] = counts.get(key, 0) + 1
+    lines: List[str] = []
+    for key in sorted(edges):
+        es = edges[key]
+        head = int(meta[es.meta_off])
+        tail = int(meta[es.meta_off + 1])
+        total = counts.get(key, 0)
+        if head < total or tail < head:
+            lines.append(f"rank {key[0]} -> rank {key[1]} tag "
+                         f"{key[2]}: {head}/{total} sent, "
+                         f"{tail} consumed")
+    if len(lines) > limit:
+        lines = lines[:limit] + [f"... and {len(lines) - limit} more"]
+    return lines
+
+
+def _hb_cycle_hint(program: TiledProgram, spec: ClusterSpec,
+                   protocol: str, overlap: bool,
+                   mailbox_depth: int) -> str:
+    """Best-effort HB certificate hint for a timed-out run."""
+    try:
+        cert = program.hb_certificate(
+            protocol=protocol, overlap=overlap,
+            mailbox_depth=mailbox_depth, spec=spec)
+    except Exception:
+        return ""
+    if cert.cycle:
+        chain = " -> ".join(str(r) for r in cert.cycle)
+        return (f"; HB certificate reports a wait cycle among ranks "
+                f"{chain} -> {cert.cycle[0]} (HB02) — run 'repro "
+                f"analyze --hb' for the full diagnostic")
+    if cert.ok:
+        return ("; the HB certificate is clean for this "
+                "configuration — likely a hang or lost worker, not "
+                "a schedule deadlock")
+    return ""
+
+
 def run_parallel(program: TiledProgram, spec: ClusterSpec,
                  init_value: InitFn,
                  workers: Optional[int] = None,
@@ -954,6 +1003,7 @@ def run_parallel(program: TiledProgram, spec: ClusterSpec,
                  trace: Optional[EventTrace] = None,
                  start_method: Optional[str] = None,
                  overlap: bool = False,
+                 verify: bool = False,
                  _crash_rank: Optional[int] = None,
                  ) -> Tuple[Dict[str, DenseField], RunStats]:
     """Execute ``program`` with real OS-process parallelism.
@@ -977,6 +1027,24 @@ def run_parallel(program: TiledProgram, spec: ClusterSpec,
         raise ValueError(f"unknown protocol {protocol!r}")
     if mailbox_depth < 1:
         raise ValueError("mailbox_depth must be >= 1")
+    if verify:
+        # Pre-flight: refuse to fork workers into a schedule the HB
+        # certifier can prove will race or deadlock under exactly this
+        # (protocol, overlap, mailbox_depth) configuration.  Lazy
+        # imports — analysis depends on this module.
+        cert = program.hb_certificate(
+            protocol=protocol, overlap=overlap,
+            mailbox_depth=mailbox_depth, spec=spec)
+        if not cert.ok:
+            from repro.analysis.diagnostics import AnalysisReport
+            from repro.analysis.verifier import VerificationError
+            report = AnalysisReport()
+            report.meta["subject"] = (
+                f"parallel run (protocol={protocol}, "
+                f"overlap={overlap})")
+            report.mark_pass("hb")
+            report.extend(cert.diagnostics)
+            raise VerificationError(report)
     nranks = program.num_processors
     if workers is None:
         workers = min(nranks, os.cpu_count() or 1)
@@ -1095,10 +1163,17 @@ def run_parallel(program: TiledProgram, spec: ClusterSpec,
                         f"worker died with exit code {code} during "
                         f"{phase} (no traceback captured)"))
             if time.monotonic() > deadline:
-                raise ParallelTimeoutError(
-                    f"parallel run did not complete within "
-                    f"{timeout:.0f}s during {phase} (hang or "
-                    f"deadlock); protocol={protocol!r}")
+                msg = (f"parallel run did not complete within "
+                       f"{timeout:.0f}s during {phase} (hang or "
+                       f"deadlock); protocol={protocol!r}")
+                stuck = _blocked_edge_lines(plans, edges,
+                                            views["meta"])
+                if stuck:
+                    msg += ("; blocked edges: "
+                            + "; ".join(stuck))
+                msg += _hb_cycle_hint(program, spec, protocol,
+                                      overlap, mailbox_depth)
+                raise ParallelTimeoutError(msg)
 
         while int(views["ctrl"][2:2 + workers].sum()) < workers:
             watch("startup")

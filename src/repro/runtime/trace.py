@@ -7,8 +7,15 @@ schedule ``Pi = [1,...,1]`` induces is clearly visible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Serialization schema version.  Bump whenever the on-disk shape of
+#: :class:`TraceEvent`/:class:`EventTrace` changes incompatibly — the
+#: sanitizer refuses traces whose version does not match rather than
+#: silently misreading events from another build.
+TRACE_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -45,6 +52,53 @@ class EventTrace:
 
     def message_count(self) -> int:
         return sum(1 for e in self.events if e.kind == "send")
+
+    # -- serialization (versioned) --------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": TRACE_SCHEMA_VERSION,
+            "events": [asdict(e) for e in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "EventTrace":
+        """Inverse of :meth:`to_dict`; raises ``ValueError`` on a
+        missing or incompatible schema version."""
+        version = payload.get("version")
+        if version is None:
+            raise ValueError(
+                "trace payload carries no schema version; refusing "
+                "to guess its layout (re-record with this build)")
+        if version != TRACE_SCHEMA_VERSION:
+            raise ValueError(
+                f"trace schema version {version} is incompatible "
+                f"with this build (expected "
+                f"{TRACE_SCHEMA_VERSION}); re-record the trace")
+        trace = cls()
+        for rec in payload.get("events", []):
+            trace.events.append(TraceEvent(
+                kind=str(rec["kind"]), rank=int(rec["rank"]),
+                start=float(rec["start"]), end=float(rec["end"]),
+                peer=(None if rec.get("peer") is None
+                      else int(rec["peer"])),
+                tag=(None if rec.get("tag") is None
+                     else int(rec["tag"])),
+                nelems=int(rec.get("nelems", 0)),
+                label=str(rec.get("label", ""))))
+        return trace
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh)
+
+    @classmethod
+    def load(cls, path: str) -> "EventTrace":
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if not isinstance(payload, dict):
+            raise ValueError(f"{path} does not contain a trace object")
+        return cls.from_dict(payload)
 
 
 @dataclass(frozen=True)

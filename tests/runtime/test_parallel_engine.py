@@ -160,15 +160,47 @@ class TestProtocols:
     def test_rendezvous_deadlock_mirrors_simulator(self):
         # SOR's multi-tag schedule deadlocks under a forced rendezvous
         # protocol.  The simulator proves it statically; the real
-        # backend must *report* it (timeout), never hang.
+        # backend must *report* it (timeout), never hang — naming the
+        # stuck mailbox edges and attaching the HB02 cycle hint.
         app, h = sor.app(4, 6), sor.h_rectangular(2, 3, 4)
         prog = TiledProgram(app.nest, h, mapping_dim=2)
         spec_rdv = dataclasses.replace(SPEC, rendezvous_threshold=0)
         with pytest.raises(DeadlockError):
             DistributedRun(prog, spec_rdv).simulate()
-        with pytest.raises(ParallelTimeoutError):
+        with pytest.raises(ParallelTimeoutError) as exc:
             run_parallel(prog, SPEC, app.init_value, workers=2,
                          protocol="rendezvous", timeout=5.0)
+        msg = str(exc.value)
+        assert "blocked edges" in msg
+        assert "tag" in msg and "sent" in msg and "consumed" in msg
+        assert "HB certificate reports a wait cycle" in msg
+        # The hinted cycle is the statically certified one.
+        cert = prog.hb_certificate(protocol="rendezvous")
+        assert cert.cycle
+        for r in cert.cycle:
+            assert str(r) in msg
+
+    def test_verify_refuses_certified_deadlock(self):
+        # verify=True must catch the same hazard *before* forking any
+        # worker: VerificationError with the HB02 diagnostic, no 5s
+        # timeout paid.
+        from repro.analysis.verifier import VerificationError
+        app, h = sor.app(4, 6), sor.h_rectangular(2, 3, 4)
+        prog = TiledProgram(app.nest, h, mapping_dim=2)
+        with pytest.raises(VerificationError) as exc:
+            run_parallel(prog, SPEC, app.init_value, workers=2,
+                         protocol="rendezvous", timeout=5.0,
+                         verify=True)
+        assert "HB02" in [d.code for d in exc.value.report.diagnostics]
+
+    def test_verify_passes_clean_schedule(self):
+        # On a certified-clean configuration verify=True must be
+        # transparent: same bitwise results as the plain run.
+        app, h = sor.app(4, 6), sor.h_nonrectangular(2, 3, 4)
+        prog, ref, _ = _dense_ref(app, h, 2)
+        fields, _ = run_parallel(prog, SPEC, app.init_value, workers=2,
+                                 protocol="eager", verify=True)
+        assert arrays_match(dense_to_cells(fields), ref, tol=0.0)
 
     def test_invalid_arguments(self):
         app, h = sor.app(4, 6), sor.h_rectangular(2, 3, 4)

@@ -1,0 +1,64 @@
+"""Versioned EventTrace serialization: round trip, version gating."""
+
+import json
+
+import pytest
+
+from repro.runtime.trace import (
+    TRACE_SCHEMA_VERSION,
+    EventTrace,
+    TraceEvent,
+)
+
+
+def _sample_trace():
+    t = EventTrace()
+    t.record("send", 0, 0.0, 1.5, peer=1, tag=2, nelems=7,
+             label="measured")
+    t.record("recv", 1, 0.5, 2.0, peer=0, tag=2, nelems=7)
+    t.record("compute", 0, 1.5, 3.0)
+    return t
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_exact(self):
+        t = _sample_trace()
+        back = EventTrace.from_dict(t.to_dict())
+        assert back.events == t.events
+
+    def test_file_round_trip(self, tmp_path):
+        t = _sample_trace()
+        path = str(tmp_path / "trace.json")
+        t.save(path)
+        back = EventTrace.load(path)
+        assert back.events == t.events
+        assert back.message_count() == 1
+
+    def test_payload_carries_schema_version(self):
+        payload = _sample_trace().to_dict()
+        assert payload["version"] == TRACE_SCHEMA_VERSION
+
+    def test_none_peer_tag_survive(self):
+        t = EventTrace()
+        t.record("compute", 3, 0.0, 1.0)
+        ev = EventTrace.from_dict(t.to_dict()).events[0]
+        assert ev.peer is None and ev.tag is None
+        assert ev == TraceEvent("compute", 3, 0.0, 1.0)
+
+
+class TestVersionGate:
+    def test_missing_version_rejected(self):
+        with pytest.raises(ValueError, match="no schema version"):
+            EventTrace.from_dict({"events": []})
+
+    def test_wrong_version_rejected(self):
+        payload = _sample_trace().to_dict()
+        payload["version"] = TRACE_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="incompatible"):
+            EventTrace.from_dict(payload)
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError, match="trace object"):
+            EventTrace.load(str(path))
