@@ -8,15 +8,18 @@ and then::
 
 The gate compares ``best_s`` (min-of-repeats — the contention-free
 estimate) per benchmark and fails on any slowdown above the threshold
-(default 25 %).  Benchmarks present on only one side are reported but
-never fail the gate: adding a benchmark must not require touching the
-baseline in the same commit, and CI hosts may legitimately skip
-host-gated entries (e.g. multi-core speedups on a single-core runner).
-An entry recorded as ``{"skipped": reason}`` on either side (the
-recorder writes these when the host cannot run the benchmark
-meaningfully, e.g. ``os.cpu_count() < workers``) is likewise reported
-and never gated — a timing taken on an oversubscribed host measures
-scheduler noise, not the code.
+(default 25 %).  A benchmark that is *new* in the fresh run is
+reported but never fails the gate: adding a benchmark must not
+require touching the baseline in the same commit.  A *baseline*
+benchmark that the fresh run did not produce at all, however, is a
+failure naming the missing benchmark — a silently vanished entry is
+how a deleted or import-broken benchmark would otherwise sail through
+the gate.  The one exemption is an entry recorded as
+``{"skipped": reason}`` (the recorder writes these when the host
+cannot run the benchmark meaningfully, e.g. ``os.cpu_count() <
+workers``): skips-with-reason on either side are reported and never
+gated — a timing taken on an oversubscribed host measures scheduler
+noise, not the code.
 
 ``--update-baseline`` rewrites the baseline from the current report
 (used locally when a deliberate perf change moves the floor).
@@ -59,10 +62,19 @@ def main(argv=None) -> int:
     baseline = load(args.baseline)["benchmarks"]
 
     failures = []
+    missing = []
     deltas = []  # (name, base_s, now_s, ratio, cv) for the table below
     for name in sorted(baseline):
         if name not in current:
-            print(f"SKIP  {name}: in baseline only (not run here)")
+            if "skipped" in baseline[name]:
+                # Host-gated entry the recording host couldn't run
+                # either; nothing has vanished.
+                print(f"SKIP  {name}: baseline recorded a skip "
+                      f"({baseline[name]['skipped']}); not run here")
+            else:
+                print(f"MISS  {name}: in baseline but absent from "
+                      f"the fresh run")
+                missing.append(name)
             continue
         if "skipped" in current[name]:
             print(f"SKIP  {name}: {current[name]['skipped']}")
@@ -100,12 +112,18 @@ def main(argv=None) -> int:
             print(f"{name:<{width}}  {base:>9.4f}s {now:>9.4f}s "
                   f"{(ratio - 1):>+7.1%} {cv:>6.1%}")
 
+    if missing:
+        print(f"\n{len(missing)} baseline benchmark(s) missing from "
+              f"the fresh run (deleted or failed to record?):")
+        for name in missing:
+            print(f"  missing benchmark: {name}")
     if failures:
         print(f"\n{len(failures)} benchmark(s) regressed beyond "
               f"{args.threshold:.0%}:")
         for name, base, now, ratio in failures:
             print(f"  {name}: {base:.4f}s -> {now:.4f}s "
                   f"({(ratio - 1):.1%} slower)")
+    if failures or missing:
         return 1
     print("\nregression gate passed")
     return 0

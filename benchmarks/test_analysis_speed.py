@@ -33,6 +33,11 @@ OVERHEAD_BUDGET = 0.20
 #: it gets a slightly larger envelope than the channel-count passes.
 HB_BUDGET = 0.30
 
+#: Maximum cost-certification time as a fraction of construction time.
+#: The certifier is closed-form plus one longest-path sweep; the plan
+#: replay and point counts ride the program's caches.
+COST_BUDGET = 0.20
+
 #: Timing rounds per config; the minimum of each phase is compared.
 ROUNDS = 5
 
@@ -89,6 +94,24 @@ def _measure_hb(make_config):
     return best_v / best_c, best_c, best_v
 
 
+def _measure_cost(make_config):
+    # Fresh program per round for the same reason as ``_measure_hb``:
+    # certificates are cached, and a cached call measures nothing.
+    app, h, mapping_dim = make_config()
+    construct, certify = [], []
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        program = TiledProgram(app.nest, h, mapping_dim)
+        t1 = time.perf_counter()
+        cert = program.cost_certificate()
+        t2 = time.perf_counter()
+        assert cert.ok
+        construct.append(t1 - t0)
+        certify.append(t2 - t1)
+    best_c, best_v = min(construct), min(certify)
+    return best_v / best_c, best_c, best_v
+
+
 @pytest.mark.parametrize("make_config", [
     _sor_config, _jacobi_config, _adi_config,
 ], ids=["sor-200x400-z8", "jacobi-100x200x200-x8", "adi-200x256-x16"])
@@ -114,4 +137,17 @@ def test_bench_hb_certify_overhead(benchmark, make_config):
     assert ratio < HB_BUDGET, (
         f"HB certification overhead {ratio:.1%} exceeds the "
         f"{HB_BUDGET:.0%} budget "
+        f"(construct {best_c * 1e3:.1f}ms, certify {best_v * 1e3:.1f}ms)")
+
+
+def test_bench_cost_certify_overhead(benchmark):
+    # The ISSUE's speed gate: static cost certification on the largest
+    # SOR space must stay under 20% of TiledProgram construction.
+    ratio, best_c, best_v = benchmark.pedantic(
+        _measure_cost, args=(_sor_config,), rounds=1, iterations=1)
+    print(f"\nconstruct={best_c * 1e3:.1f}ms certify={best_v * 1e3:.1f}ms "
+          f"overhead={ratio:.1%} (budget {COST_BUDGET:.0%})")
+    assert ratio < COST_BUDGET, (
+        f"cost certification overhead {ratio:.1%} exceeds the "
+        f"{COST_BUDGET:.0%} budget "
         f"(construct {best_c * 1e3:.1f}ms, certify {best_v * 1e3:.1f}ms)")

@@ -25,6 +25,13 @@ compiled :class:`~repro.runtime.executor.TiledProgram` is well-formed:
   exhaustive model checking of the SPSC mailbox ring (HB03), and a
   measured-trace sanitizer (HB04, ``repro sanitize``); opt-in via
   ``analyze_program(..., hb=True)`` / ``repro analyze --hb``;
+* :mod:`repro.analysis.cost` — the static cost certifier: closed-form
+  per-edge communication volumes cross-checked against the frozen
+  plans (COST01), per-rank compute volumes and imbalance (COST02),
+  the analytic critical-path makespan — bitwise equal to the
+  simulator on matching configurations (COST03) — and Dinh & Demmel
+  lower-bound certification of the tile shape (COST04); opt-in via
+  ``analyze_program(..., cost=True)`` / ``repro analyze --cost``;
 * :mod:`repro.analysis.verifier` — the driver: legality/tile-size
   prechecks plus the passes above, accumulated into one
   :class:`~repro.analysis.diagnostics.AnalysisReport`;
@@ -50,6 +57,13 @@ from repro.analysis.deadlock import check_deadlock, check_program_deadlock
 from repro.analysis.races import check_races
 from repro.analysis.bounds import check_bounds
 from repro.analysis.overlap import check_overlap
+from repro.analysis.cost import (
+    CostCertificate,
+    analytic_makespan,
+    certify_cost,
+    check_cost,
+    communication_lower_bound,
+)
 from repro.analysis.hb import (
     HBCertificate,
     certify_program,
@@ -90,6 +104,11 @@ __all__ = [
     "check_ring_model",
     "certify_program",
     "HBCertificate",
+    "CostCertificate",
+    "analytic_makespan",
+    "certify_cost",
+    "check_cost",
+    "communication_lower_bound",
     "sanitize_trace",
     "sanitize_report",
     "check_tiling",

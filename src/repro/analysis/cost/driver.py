@@ -1,0 +1,43 @@
+"""The ``analyze --cost`` driver: certify and collect diagnostics.
+
+Thin like :func:`repro.analysis.hb.check_hb` — the heavy lifting lives
+in :func:`repro.analysis.cost.certify.certify_cost`; this entry point
+just routes through the program's certificate cache and, when the
+cluster model carries a rendezvous threshold, certifies the ``spec``
+protocol too (a threshold can turn eager sends into handshakes, which
+changes the critical path and can even deadlock — COST03 reports
+that).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.analysis.diagnostics import Diagnostic
+
+if TYPE_CHECKING:
+    from repro.runtime.executor import TiledProgram
+    from repro.runtime.machine import ClusterSpec
+
+
+def check_cost(program: "TiledProgram", *,
+               spec: Optional["ClusterSpec"] = None,
+               mailbox_depth: int = 8,
+               bound_factor: float = 2.0) -> List[Diagnostic]:
+    """All COST findings for one program (the ``analyze --cost`` pass).
+
+    Certifies under the eager protocol (the runtime default); when
+    ``spec`` carries a rendezvous threshold the ``spec`` protocol is
+    certified too.  Duplicate findings (same code on the same subject
+    under both protocols) are kept — each names its protocol.
+    """
+    diags: List[Diagnostic] = []
+    protocols = ["eager"]
+    if spec is not None and spec.rendezvous_threshold is not None:
+        protocols.append("spec")
+    for protocol in protocols:
+        cert = program.cost_certificate(
+            protocol=protocol, mailbox_depth=mailbox_depth, spec=spec,
+            bound_factor=bound_factor)
+        diags.extend(cert.diagnostics)
+    return diags

@@ -1,0 +1,193 @@
+"""COST03: critical-path makespan by a longest-path sweep of the HB
+graph.
+
+The sweep replays the happens-before graph of the *blocking* schedule
+(the one :meth:`DistributedRun.simulate` executes) with the simulator's
+exact per-event clock arithmetic — same Hockney model, same protocol
+decisions, same floating-point operation order per rank — so on any
+configuration the simulator can run, the analytic makespan is bitwise
+equal to the simulated one.  That is the property the exactness tests
+pin; the documented tolerance (``1e-12`` relative) only covers future
+re-orderings of the per-rank accumulation.
+
+Event weights:
+
+* ``COMPUTE`` — ``compute_time(points) * f`` (per-rank speed factor);
+* ``RECV`` — wait for the matched send (eager: arrival; rendezvous:
+  ``max(clock, ready) + transfer``), then unpack at ``pack_time``;
+* ``SEND`` — pack at ``pack_time``, then eager (blocking transfer or
+  latency-only under ``spec.overlap``) or park for rendezvous;
+* ``SENDWAIT`` — jump to the rendezvous completion computed at the
+  matching receive.
+
+A schedule the HB certifier would flag (HB02 cycle) makes the sweep
+stick; the result is then an infinite makespan plus a ``stuck`` flag —
+``certify_cost`` turns that into a COST03 diagnostic instead of
+raising, mirroring the simulator's :class:`DeadlockError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.analysis.hb.graph import (
+    COMPUTE,
+    RECV,
+    SEND,
+    SENDWAIT,
+    HBGraph,
+    _rendezvous_fn,
+    build_hb_graph,
+)
+from repro.runtime.machine import FAST_ETHERNET_CLUSTER, ClusterSpec
+
+if TYPE_CHECKING:
+    from repro.runtime.executor import TiledProgram
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Per-rank clocks of the analytic critical-path sweep."""
+
+    makespan: float
+    clocks: Tuple[float, ...]
+    compute_time: Tuple[float, ...]     # incl. pack, as the simulator
+    comm_time: Tuple[float, ...]
+    tile_compute_time: Tuple[float, ...]  # COMPUTE events only
+    stuck: bool                         # sweep deadlocked (HB02 cycle)
+    stuck_ranks: Tuple[int, ...]
+
+
+def analytic_makespan(program: "TiledProgram",
+                      spec: Optional[ClusterSpec] = None,
+                      protocol: str = "eager",
+                      mailbox_depth: int = 8,
+                      mutation: Optional[str] = None,
+                      graph: Optional[HBGraph] = None) -> SweepResult:
+    """Longest-path sweep of the blocking-schedule HB graph."""
+    if spec is None:
+        spec = FAST_ETHERNET_CLUSTER
+    if graph is None:
+        graph = build_hb_graph(program, protocol=protocol,
+                               overlap=False,
+                               mailbox_depth=mailbox_depth, spec=spec)
+    rdv = _rendezvous_fn(protocol, spec)
+    swap = mutation == "swapped_edge_weight"
+
+    def w_compute(points: int) -> float:
+        # Seeded bug: compute edges weighted with the network model.
+        return (spec.message_time(points) if swap
+                else spec.compute_time(points))
+
+    def w_transfer(nelems: int) -> float:
+        return (spec.compute_time(nelems) if swap
+                else spec.message_time(nelems))
+
+    nranks = graph.nranks
+    events = graph.events
+    order = graph.rank_order
+    send_of_recv = graph.send_of_recv
+    send_by_chanpos: Dict[Tuple[Tuple[int, int, int], int], int] = {}
+    for i, ev in enumerate(events):
+        if ev.kind == SEND and ev.chan is not None:
+            send_by_chanpos[(ev.chan, ev.chanpos)] = i
+
+    speed = [spec.node_speed_factor(r) for r in range(nranks)]
+    ptr = [0] * nranks
+    clock = [0.0] * nranks
+    compute = [0.0] * nranks
+    comm = [0.0] * nranks
+    tile_compute = [0.0] * nranks
+    arrival: Dict[int, float] = {}      # eager send -> arrival time
+    ready: Dict[int, float] = {}        # rendezvous send -> park time
+    completion: Dict[int, float] = {}   # rendezvous send -> match end
+
+    def step(rank: int) -> bool:
+        """Process the rank's next event; False if it must wait."""
+        eid = order[rank][ptr[rank]]
+        ev = events[eid]
+        f = speed[rank]
+        if ev.kind == COMPUTE:
+            pts = program.tile_point_count(ev.tile)
+            w = w_compute(pts) * f
+            clock[rank] += w
+            compute[rank] += w
+            tile_compute[rank] += w
+        elif ev.kind == SEND:
+            pack = spec.pack_time(ev.nelems) * f
+            clock[rank] += pack
+            compute[rank] += pack
+            if rdv(ev.nelems):
+                ready[eid] = clock[rank]
+            elif spec.overlap:
+                start = clock[rank]
+                clock[rank] += spec.net_latency
+                arrival[eid] = start + w_transfer(ev.nelems)
+                comm[rank] += spec.net_latency
+            else:
+                clock[rank] += w_transfer(ev.nelems)
+                arrival[eid] = clock[rank]
+                comm[rank] += w_transfer(ev.nelems)
+        elif ev.kind == SENDWAIT:
+            assert ev.chan is not None
+            sid = send_by_chanpos[(ev.chan, ev.chanpos)]
+            end = completion.get(sid)
+            if end is None:
+                return False
+            comm[rank] += end - clock[rank]
+            clock[rank] = end
+        elif ev.kind == RECV:
+            sid = send_of_recv.get(eid)
+            if sid is None:
+                return False                # unmatched: never ready
+            if rdv(events[sid].nelems):
+                park = ready.get(sid)
+                if park is None:
+                    return False
+                end = max(clock[rank], park) + w_transfer(ev.nelems)
+                comm[rank] += end - clock[rank]
+                clock[rank] = end
+                completion[sid] = end
+            else:
+                arr = arrival.get(sid)
+                if arr is None:
+                    return False
+                wait = max(clock[rank], arr) - clock[rank]
+                comm[rank] += wait
+                clock[rank] = max(clock[rank], arr)
+            pack = spec.pack_time(ev.nelems) * f
+            clock[rank] += pack
+            compute[rank] += pack
+        else:                               # pragma: no cover
+            raise AssertionError(f"unknown event kind {ev.kind!r}")
+        ptr[rank] += 1
+        return True
+
+    live = {r for r in range(nranks) if ptr[r] < len(order[r])}
+    while live:
+        progressed = False
+        for rank in sorted(live):
+            while ptr[rank] < len(order[rank]) and step(rank):
+                progressed = True
+            if ptr[rank] >= len(order[rank]):
+                live.discard(rank)
+        if live and not progressed:
+            return SweepResult(
+                makespan=float("inf"),
+                clocks=tuple(clock),
+                compute_time=tuple(compute),
+                comm_time=tuple(comm),
+                tile_compute_time=tuple(tile_compute),
+                stuck=True,
+                stuck_ranks=tuple(sorted(live)),
+            )
+    return SweepResult(
+        makespan=max(clock) if clock else 0.0,
+        clocks=tuple(clock),
+        compute_time=tuple(compute),
+        comm_time=tuple(comm),
+        tile_compute_time=tuple(tile_compute),
+        stuck=False,
+        stuck_ranks=(),
+    )

@@ -67,6 +67,19 @@ Diagnostic codes are part of the public contract:
            wraparound safety in some interleaving
 ``HB04``   trace nonconformance — a measured event is out of the
            certified happens-before order (``repro sanitize``)
+``COST01`` closed-form per-edge communication volume disagrees
+           with the frozen plan replay (strides, ``cc`` or the
+           ``D^m`` enumeration are miscounted)
+``COST02`` informational — per-rank computation volumes and the
+           distribution's load-imbalance ratio
+``COST03`` analytic makespan undefined or inconsistent — the
+           critical-path sweep deadlocks under the analyzed
+           protocol, or its compute accounting fails to
+           reproduce the closed-form rank volumes
+``COST04`` tile shape exceeds the Dinh & Demmel communication
+           lower bound by more than the configured factor
+           (warning), or the bound's AM-GM self-check fails
+           (error)
 ========  =======================================================
 """
 

@@ -130,7 +130,8 @@ def analyze_tiling(h, deps: Sequence[Sequence[int]],
 def analyze_program(program, subject: str = "", *,
                     deadlock_both: bool = True,
                     overlap: bool = False,
-                    hb: bool = False) -> AnalysisReport:
+                    hb: bool = False,
+                    cost: bool = False) -> AnalysisReport:
     """Full post-construction report over a compiled ``TiledProgram``.
 
     ``deadlock_both=False`` analyzes the deadlock pass under the eager
@@ -150,6 +151,13 @@ def analyze_program(program, subject: str = "", *,
     of the parallel runtime's schedule under every selectable
     protocol, blocking and overlapped, plus the mailbox ring protocol
     model).  Opt-in for the same cost reason as ``overlap``.
+
+    ``cost=True`` additionally runs the static cost certifier
+    (COST01-COST04: closed-form per-edge communication volumes
+    cross-checked against the frozen plans, per-rank compute volumes,
+    the analytic critical-path makespan, and the Dinh & Demmel
+    lower-bound verdict).  The full certificate lands in
+    ``report.meta["cost"]``.
     """
     from repro.analysis.bounds import check_bounds
     from repro.analysis.deadlock import check_program_deadlock
@@ -187,12 +195,17 @@ def analyze_program(program, subject: str = "", *,
         from repro.analysis.hb import check_hb
         report.extend(check_hb(program))
         report.mark_pass("hb")
+    if cost:
+        cert = program.cost_certificate()
+        report.extend(cert.diagnostics)
+        report.meta["cost"] = cert.to_dict()
+        report.mark_pass("cost")
     return report
 
 
 def analyze(nest, h, mapping_dim: Optional[int] = None,
             subject: str = "", *, overlap: bool = False,
-            hb: bool = False) -> AnalysisReport:
+            hb: bool = False, cost: bool = False) -> AnalysisReport:
     """End-to-end: pre-checks, then compile and run every pass.
 
     When the pre-construction checks fail, the partial report is
@@ -207,7 +220,7 @@ def analyze(nest, h, mapping_dim: Optional[int] = None,
     from repro.runtime.executor import TiledProgram
     program = TiledProgram(nest, h, mapping_dim)
     return analyze_program(program, subject=subject, overlap=overlap,
-                           hb=hb)
+                           hb=hb, cost=cost)
 
 
 def verify_program(program, subject: str = "") -> AnalysisReport:

@@ -281,7 +281,7 @@ def cmd_analyze(args) -> int:
     try:
         report = analyze(nest, h, mapping_dim=app.mapping_dim,
                          subject=subject, overlap=args.overlap,
-                         hb=args.hb)
+                         hb=args.hb, cost=args.cost)
         if args.transval and report.ok:
             # Translation validation: freshly emit all four artifacts
             # and statically compare them against the pipeline.  Only
@@ -462,6 +462,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "every protocol, blocking and overlapped "
                             "schedules, plus the HB03 mailbox-ring "
                             "model verdict)")
+    p_ana.add_argument("--cost", action="store_true",
+                       help="also run the static cost certifier "
+                            "(COST01 per-edge volumes, COST02 rank "
+                            "volumes/imbalance, COST03 analytic "
+                            "makespan, COST04 lower-bound verdict); "
+                            "the certificate lands in the JSON "
+                            "report's meta.cost")
     p_ana.add_argument("--fail-on-warn", action="store_true",
                        help="exit nonzero on warning diagnostics too, "
                             "not only on errors")

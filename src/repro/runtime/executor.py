@@ -69,6 +69,7 @@ from repro.tiling.legality import check_legal_tiling
 from repro.tiling.transform import TilingTransformation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.cost import CostCertificate
     from repro.analysis.hb.graph import HBCertificate
 
 Pid = Tuple[int, ...]
@@ -110,6 +111,12 @@ class TiledProgram:
         self._lex_order: Optional[np.ndarray] = None
         self._overlap_cache: Dict[object, TileOverlapPlan] = {}
         self._hb_cache: Dict[object, HBCertificate] = {}
+        self._cost_cache: Dict[object, CostCertificate] = {}
+        self._points_cache: Dict[Tile, int] = {}
+        # Filled by repro.runtime.parallel.build_rank_plans (the plans
+        # are immutable compile-time artifacts shared by the runtime,
+        # the HB graph and the cost certifier).
+        self._rank_plans_cache: Optional[Dict[int, object]] = None
         if verify:
             # Guard mode: refuse to hand out a program the static
             # verifier can prove will race, deadlock, or address out of
@@ -126,8 +133,17 @@ class TiledProgram:
 
     def total_points(self) -> int:
         """Iteration count of the whole nest (for speedup baselines)."""
-        return sum(self.tiling.tile_point_count(t)
-                   for t in self.dist.tiles)
+        return sum(self.tile_point_count(t) for t in self.dist.tiles)
+
+    def tile_point_count(self, tile: Tile) -> int:
+        """Domain points of ``tile``, cached per tile (partial tiles
+        pay one mask reduction ever — the schedule model, the makespan
+        sweep and the rank-volume pass all ask repeatedly)."""
+        count = self._points_cache.get(tile)
+        if count is None:
+            count = self.tiling.tile_point_count(tile)
+            self._points_cache[tile] = count
+        return count
 
     def tile_mask(self, tile: Tile) -> np.ndarray:
         mask = self._mask_cache.get(tile)
@@ -278,6 +294,31 @@ class TiledProgram:
                 self, protocol=protocol, overlap=overlap,
                 mailbox_depth=mailbox_depth, spec=spec)
             self._hb_cache[key] = cert
+        return cert
+
+    def cost_certificate(self, protocol: str = "eager",
+                         mailbox_depth: int = 8,
+                         spec: Optional[ClusterSpec] = None,
+                         bound_factor: float = 2.0,
+                         ) -> "CostCertificate":
+        """Cached static cost certificate of this program (see
+        :mod:`repro.analysis.cost`): exact per-edge communication
+        volumes (COST01), per-rank compute volumes (COST02), the
+        analytic critical-path makespan (COST03) and the Dinh & Demmel
+        lower-bound verdict (COST04).
+
+        Unlike :meth:`hb_certificate`, the result depends on *every*
+        timing parameter of the cluster model, so the full (frozen,
+        hashable) spec keys the cache.
+        """
+        key = (protocol, int(mailbox_depth), float(bound_factor), spec)
+        cert = self._cost_cache.get(key)
+        if cert is None:
+            from repro.analysis.cost import certify_cost
+            cert = certify_cost(
+                self, spec=spec, protocol=protocol,
+                mailbox_depth=mailbox_depth, bound_factor=bound_factor)
+            self._cost_cache[key] = cert
         return cert
 
     def full_region_count(self, direction: Sequence[int]) -> int:

@@ -59,7 +59,7 @@ from __future__ import annotations
 import os
 import time
 import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing import get_context
 from multiprocessing import shared_memory as _shm
 from typing import (
@@ -175,6 +175,7 @@ class _Segments:
     data: str
     statsf: str
     statsi: str
+    edgestats: str                  # int64 (nedges, 2): messages, elems
     fields: Tuple[Tuple[str, str, str], ...]   # (array, values, written)
 
 
@@ -194,7 +195,14 @@ class _RunConfig:
 def build_rank_plans(program: TiledProgram) -> Dict[int, RankPlan]:
     """Freeze the paper schedule (receive-per-tile, send-per-processor)
     into per-rank op lists; zero-element messages are dropped exactly
-    as the simulator drops them, so event counts line up."""
+    as the simulator drops them, so event counts line up.
+
+    Cached on the program (the plans are immutable and a pure function
+    of the frozen schedule): the runtime, the HB graph builder and the
+    cost certifier all replay the same lists."""
+    cached = program._rank_plans_cache
+    if cached is not None:
+        return cached
     narr = len(program.arrays)
     dist = program.dist
     plans: Dict[int, RankPlan] = {}
@@ -229,6 +237,7 @@ def build_rank_plans(program: TiledProgram) -> Dict[int, RankPlan]:
             sends.append(tuple(ss))
         plans[rank] = RankPlan(rank=rank, pid=pid, tiles=tiles,
                                recvs=tuple(recvs), sends=tuple(sends))
+    program._rank_plans_cache = plans
     return plans
 
 
@@ -388,6 +397,11 @@ class _RankClocks:
     recvs: int = 0
     elems_sent: int = 0
     clock_ns: int = 0
+    # Per-edge measured counts for this rank's *outgoing* edges; the
+    # worker flushes them into the shared ``edgestats`` segment (one
+    # row per edge, single writer = the sender's worker).
+    edge_msgs: Dict[EdgeKey, int] = field(default_factory=dict)
+    edge_elems: Dict[EdgeKey, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -629,6 +643,10 @@ def _rank_generator(program: TiledProgram, spec: ClusterSpec,
                 clocks.comm_ns += w1 - w0
                 clocks.sends += 1
                 clocks.elems_sent += s.nelems
+                ekey = (rank, s.dst_rank, s.tag)
+                clocks.edge_msgs[ekey] = clocks.edge_msgs.get(ekey, 0) + 1
+                clocks.edge_elems[ekey] = \
+                    clocks.edge_elems.get(ekey, 0) + s.nelems
                 if events is not None:
                     events.append(("send", w0, w1, s.dst_rank, s.tag,
                                    s.nelems))
@@ -747,6 +765,11 @@ def _rank_generator(program: TiledProgram, spec: ClusterSpec,
                     commtile[0] += w1 - w0
                     clocks.sends += 1
                     clocks.elems_sent += om.send.nelems
+                    ekey = (rank, om.send.dst_rank, om.send.tag)
+                    clocks.edge_msgs[ekey] = \
+                        clocks.edge_msgs.get(ekey, 0) + 1
+                    clocks.edge_elems[ekey] = \
+                        clocks.edge_elems.get(ekey, 0) + om.send.nelems
                     if events is not None:
                         events.append(("send", om.first_ns, w1,
                                        om.send.dst_rank, om.send.tag,
@@ -830,7 +853,9 @@ def _worker_main(worker_id: int, ranks: Tuple[int, ...],
         data_seg = _attach(segments.data)
         statsf_seg = _attach(segments.statsf)
         statsi_seg = _attach(segments.statsi)
-        segs += [ctrl_seg, meta_seg, data_seg, statsf_seg, statsi_seg]
+        edgestats_seg = _attach(segments.edgestats)
+        segs += [ctrl_seg, meta_seg, data_seg, statsf_seg, statsi_seg,
+                 edgestats_seg]
         ctrl = np.frombuffer(ctrl_seg.buf, dtype=np.int64)
         meta = np.frombuffer(meta_seg.buf, dtype=np.int64)
         data = np.frombuffer(data_seg.buf, dtype=dtype)
@@ -838,6 +863,11 @@ def _worker_main(worker_id: int, ranks: Tuple[int, ...],
                                dtype=np.float64).reshape(cfg.nranks, 3)
         statsi = np.frombuffer(statsi_seg.buf,
                                dtype=np.int64).reshape(cfg.nranks, 3)
+        nedges = len(edge_specs)
+        edgestats = (np.frombuffer(edgestats_seg.buf, dtype=np.int64)
+                     [:nedges * 2].reshape(nedges, 2)
+                     if nedges else None)
+        edge_index = {key: i for i, key in enumerate(sorted(edge_specs))}
         layout = {name: (origin, shp)
                   for name, origin, shp in cfg.field_layout}
         fields: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
@@ -906,6 +936,13 @@ def _worker_main(worker_id: int, ranks: Tuple[int, ...],
             statsi[r, 0] = c.sends
             statsi[r, 1] = c.recvs
             statsi[r, 2] = c.elems_sent
+            if edgestats is not None:
+                # Each edge has exactly one sending rank, so this
+                # worker is the row's only writer.
+                for ekey, msgs in c.edge_msgs.items():
+                    row = edge_index[ekey]
+                    edgestats[row, 0] = msgs
+                    edgestats[row, 1] = c.edge_elems[ekey]
         if cfg.collect_trace and trace_q is not None:
             trace_q.put((worker_id, per_rank_events))
         os._exit(0)
@@ -1089,6 +1126,7 @@ def run_parallel(program: TiledProgram, spec: ClusterSpec,
         data_seg = new_seg("data", data_words * np_dtype.itemsize)
         statsf_seg = new_seg("statsf", nranks * 3 * 8)
         statsi_seg = new_seg("statsi", nranks * 3 * 8)
+        edgestats_seg = new_seg("edgestats", len(edges) * 2 * 8)
         views["ctrl"] = np.frombuffer(ctrl_seg.buf, dtype=np.int64)
         views["ctrl"][:] = 0
         views["meta"] = np.frombuffer(meta_seg.buf, dtype=np.int64)
@@ -1098,6 +1136,9 @@ def run_parallel(program: TiledProgram, spec: ClusterSpec,
         views["statsf"][:] = 0.0
         views["statsi"] = np.frombuffer(statsi_seg.buf, dtype=np.int64)
         views["statsi"][:] = 0
+        views["edgestats"] = np.frombuffer(edgestats_seg.buf,
+                                           dtype=np.int64)
+        views["edgestats"][:] = 0
         field_segs: List[Tuple[str, str, str]] = []
         for arr, _origin, shp in field_layout:
             count = 1
@@ -1115,6 +1156,7 @@ def run_parallel(program: TiledProgram, spec: ClusterSpec,
         segments = _Segments(
             ctrl=ctrl_seg.name, meta=meta_seg.name, data=data_seg.name,
             statsf=statsf_seg.name, statsi=statsi_seg.name,
+            edgestats=edgestats_seg.name,
             fields=tuple(field_segs))
         cfg = _RunConfig(
             dtype_str=np_dtype.str, protocol=protocol, nranks=nranks,
@@ -1192,6 +1234,15 @@ def run_parallel(program: TiledProgram, spec: ClusterSpec,
             statsi = views["statsi"].reshape(nranks, 3)
             rank_clocks = {r: float(statsf[r, 0])
                            for r in range(nranks)}
+            ekeys = sorted(edges)
+            estats = views["edgestats"][:len(ekeys) * 2].reshape(
+                len(ekeys), 2) if ekeys else None
+            channel_messages = {}
+            channel_elements = {}
+            if estats is not None:
+                for i, key in enumerate(ekeys):
+                    channel_messages[key] = int(estats[i, 0])
+                    channel_elements[key] = int(estats[i, 1])
             return RunStats(
                 makespan=(max(rank_clocks.values())
                           if rank_clocks else 0.0),
@@ -1202,6 +1253,8 @@ def run_parallel(program: TiledProgram, spec: ClusterSpec,
                               for r in range(nranks)},
                 comm_time={r: float(statsf[r, 2])
                            for r in range(nranks)},
+                channel_messages=channel_messages,
+                channel_elements=channel_elements,
             ), int(statsi[:, 1].sum())
 
         def collect_field(arr: str, proto: DenseField) -> DenseField:

@@ -21,7 +21,7 @@ the same clocks, which makes simulated "measurements" reproducible.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.runtime.machine import ClusterSpec
@@ -122,6 +122,11 @@ class VirtualMPI:
         self._seq = 0
         self.total_messages = 0
         self.total_elements = 0
+        # Per-channel accounting, keyed (source, dest, tag) exactly
+        # like the queues: the static cost certifier asserts equality
+        # against these (COST01), so they must count every send.
+        self.channel_messages: Dict[Tuple[int, int, int], int] = {}
+        self.channel_elements: Dict[Tuple[int, int, int], int] = {}
 
     # -- main loop ------------------------------------------------------------------
 
@@ -206,6 +211,9 @@ class VirtualMPI:
         spec = self.spec
         self._seq += 1
         key = (proc.rank, req.dest, req.tag)
+        self.channel_messages[key] = self.channel_messages.get(key, 0) + 1
+        self.channel_elements[key] = (
+            self.channel_elements.get(key, 0) + req.nelems)
         nbytes = req.nelems * spec.bytes_per_element
         rendezvous = (
             spec.rendezvous_threshold is not None
@@ -309,6 +317,8 @@ class VirtualMPI:
             total_elements=self.total_elements,
             compute_time={r: p.compute_time for r, p in self._procs.items()},
             comm_time={r: p.comm_time for r, p in self._procs.items()},
+            channel_messages=dict(self.channel_messages),
+            channel_elements=dict(self.channel_elements),
         )
 
 
@@ -329,6 +339,13 @@ class RunStats:
     total_elements: int
     compute_time: Dict[int, float]
     comm_time: Dict[int, float]
+    #: Messages / elements sent per ``(source, dest, tag)`` channel.
+    #: Empty when the producing engine predates the counters (old
+    #: pickles); both engines and the cost certifier fill them.
+    channel_messages: Dict[Tuple[int, int, int], int] = \
+        field(default_factory=dict)
+    channel_elements: Dict[Tuple[int, int, int], int] = \
+        field(default_factory=dict)
 
     @property
     def max_compute(self) -> float:

@@ -16,6 +16,7 @@ report).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.runtime.machine import ClusterSpec
 from repro.schedule.linear import LinearSchedule
@@ -34,7 +35,7 @@ class PredictedTime:
 
 
 def predict_makespan(tiling: TilingTransformation,
-                     deps,
+                     deps: Sequence[Sequence[int]],
                      mapping_dim: int,
                      spec: ClusterSpec,
                      arrays: int = 1) -> PredictedTime:

@@ -69,5 +69,5 @@ def rank_shapes(candidates: Sequence[Tuple[str, RatMat]],
     The [10] theorem manifests as: within equal-volume candidates, more
     interior rows never rank strictly best.
     """
-    analyses = [analyze_shape(l, h, deps, j_max) for l, h in candidates]
+    analyses = [analyze_shape(lbl, h, deps, j_max) for lbl, h in candidates]
     return sorted(analyses, key=lambda a: a.completion_step)

@@ -9,6 +9,9 @@
 * :mod:`repro.tiling.legality` — ``H D >= 0`` legality.
 * :mod:`repro.tiling.shapes` — convenient constructors for the tiling
   matrices used in the paper's experiments.
+* :mod:`repro.tiling.selector` — tile-size selection along the mapping
+  dimension (closed-form ratio balancing, empirical sweeps, and
+  cost-certificate-guided pruning).
 """
 
 from repro.tiling.transform import TilingTransformation
@@ -25,7 +28,9 @@ from repro.tiling.shapes import (
     cone_aligned_tiling,
 )
 from repro.tiling.selector import (
+    CostGuidedOutcome,
     SweepOutcome,
+    cost_guided_extent,
     ratio_balanced_extent,
     sweep_best_extent,
 )
@@ -41,7 +46,9 @@ __all__ = [
     "rectangular_tiling",
     "parallelepiped_tiling",
     "cone_aligned_tiling",
+    "CostGuidedOutcome",
     "SweepOutcome",
+    "cost_guided_extent",
     "ratio_balanced_extent",
     "sweep_best_extent",
 ]

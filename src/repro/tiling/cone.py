@@ -13,7 +13,7 @@ from __future__ import annotations
 from fractions import Fraction
 from itertools import combinations
 from math import gcd
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.linalg.ratmat import RatMat
 
@@ -46,11 +46,10 @@ def in_tiling_cone(x: Sequence,
     )
 
 
-def _null_direction(rows: Sequence[Sequence[int]], n: int):
+def _null_direction(rows: Sequence[Sequence[int]],
+                    n: int) -> Optional[List[Fraction]]:
     """A nonzero vector orthogonal to all ``rows`` (rank n-1 expected)."""
     # Solve by appending candidate normalization rows until nonsingular.
-    m = RatMat([[Fraction(int(x)) for x in r] for r in rows]) \
-        if rows else None
     for axis in range(n):
         probe = [Fraction(0)] * n
         probe[axis] = Fraction(1)
@@ -61,8 +60,7 @@ def _null_direction(rows: Sequence[Sequence[int]], n: int):
         if mat.det() == 0:
             continue
         rhs = [Fraction(0)] * (n - 1) + [Fraction(1)]
-        sol = mat.solve(rhs)
-        return sol
+        return mat.solve(rhs)
     return None
 
 
@@ -82,7 +80,7 @@ def tiling_cone_rays(deps: Sequence[Sequence[int]]) -> List[Tuple[int, ...]]:
     n = len(ds[0])
     if n == 1:
         return [(1,)]
-    rays = set()
+    rays: Set[Tuple[int, ...]] = set()
     for subset in combinations(range(len(ds)), n - 1):
         active = [ds[i] for i in subset]
         sol = _null_direction(active, n)

@@ -8,7 +8,7 @@ are tiling-cone directions scaled by ``1/size``.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.linalg.ratmat import RatMat, rat
 from repro.tiling.cone import in_tiling_cone
@@ -32,9 +32,10 @@ def parallelepiped_tiling(rows: Sequence[Sequence]) -> RatMat:
     return RatMat(rows)
 
 
-def cone_aligned_tiling(rays: Sequence[Sequence[int]],
-                        sizes: Sequence[int],
-                        deps: Sequence[Sequence[int]] = None) -> RatMat:
+def cone_aligned_tiling(
+        rays: Sequence[Sequence[int]],
+        sizes: Sequence[int],
+        deps: Optional[Sequence[Sequence[int]]] = None) -> RatMat:
     """``H`` whose row ``k`` is ``rays[k] / sizes[k]``.
 
     When the rays are (a subset of) the tiling cone's extreme rays this
@@ -47,9 +48,9 @@ def cone_aligned_tiling(rays: Sequence[Sequence[int]],
         for r in rays:
             if not in_tiling_cone(r, deps):
                 raise ValueError(f"ray {tuple(r)} is outside the tiling cone")
-    rows = []
-    for ray, s in zip(rays, sizes):
-        s = int(s)
+    rows: List[Tuple[Fraction, ...]] = []
+    for ray, size in zip(rays, sizes):
+        s = int(size)
         if s <= 0:
             raise ValueError("tile sizes must be positive")
         rows.append(tuple(Fraction(int(x), s) for x in ray))

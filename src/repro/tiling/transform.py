@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from fractions import Fraction
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,7 +45,7 @@ class TilingTransformation:
     integer matrix — its columns are the tile's side vectors.
     """
 
-    def __init__(self, h: RatMat, domain: Polyhedron):
+    def __init__(self, h: RatMat, domain: Polyhedron) -> None:
         if h.nrows != domain.dim:
             raise ValueError("tiling matrix dimension must match the domain")
         self.h = h
@@ -63,8 +63,8 @@ class TilingTransformation:
         self._tiles_cache: Optional[List[Tuple[int, ...]]] = None
         self._dS_cache: Dict[Tuple[Tuple[int, ...], ...],
                              Tuple[Tuple[int, ...], ...]] = {}
-        self._extents_cache = None
-        self._base_vals_cache = None
+        self._extents_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._base_vals_cache: Optional[np.ndarray] = None
         self._mask_cache: Dict[Tuple[int, ...], np.ndarray] = {}
         self._classify_cache: Dict[Tuple[int, ...], str] = {}
 
@@ -231,7 +231,7 @@ class TilingTransformation:
         n = self.n
         tiles: List[Tuple[int, ...]] = []
 
-        def rec(k: int, prefix: Tuple[int, ...]):
+        def rec(k: int, prefix: Tuple[int, ...]) -> None:
             if k == n:
                 if self.tile_is_nonempty(prefix):
                     tiles.append(prefix)

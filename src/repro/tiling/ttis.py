@@ -18,7 +18,7 @@ SAC 2002 work, ref [7]) transforms the tile into a *rectangle*:
 from __future__ import annotations
 
 from math import gcd
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,7 +29,7 @@ from repro.linalg.ratmat import RatMat, diag
 class TTIS:
     """Rectangularized tile geometry derived from a tiling matrix ``H``."""
 
-    def __init__(self, h: RatMat):
+    def __init__(self, h: RatMat) -> None:
         if not h.is_square():
             raise ValueError("tiling matrix must be square")
         self.h = h
@@ -59,6 +59,8 @@ class TTIS:
                     "the LDS condensation of the paper requires c_k | v_kk"
                 )
         self.rows_per_dim = tuple(self.v[k] // self.c[k] for k in range(self.n))
+        self._lattice_np: Optional[np.ndarray] = None
+        self._tis_np: Optional[np.ndarray] = None
 
     # -- sizes ---------------------------------------------------------------
 
@@ -108,7 +110,7 @@ class TTIS:
         most of the paper's tilings) the lattice is the whole integer
         box, built directly with numpy instead of the generic walker.
         """
-        cached = getattr(self, "_lattice_np", None)
+        cached = self._lattice_np
         if cached is None:
             if all(ck == 1 for ck in self.c):
                 grids = np.meshgrid(
@@ -130,7 +132,7 @@ class TTIS:
         coordinates; the result is integral because the lattice is the
         image of ``Z^n`` under ``H'``.
         """
-        cached = getattr(self, "_tis_np", None)
+        cached = self._tis_np
         if cached is None:
             lat = self.lattice_points_np()
             pp = self.p_prime

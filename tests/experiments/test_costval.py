@@ -1,0 +1,25 @@
+"""The predicted-vs-simulated-vs-measured validation experiment:
+without measurement it is pure model — predicted must equal simulated
+bitwise on every default config."""
+
+from repro.experiments import costval
+
+
+def test_default_configs_predict_exactly():
+    rows = costval.run(measure=False)
+    assert len(rows) == 3
+    assert {r.app.split("-")[0] for r in rows} == \
+        {"sor", "jacobi", "adi"}
+    for r in rows:
+        assert r.exact, (r.app, r.predicted, r.simulated)
+        assert r.measured is None
+        assert r.processors > 1
+
+
+def test_format_rows_is_markdown():
+    rows = costval.run(measure=False)
+    table = costval.format_rows(rows)
+    lines = table.splitlines()
+    assert lines[0].startswith("| app |")
+    assert len(lines) == 2 + len(rows)
+    assert all(l.count("|") == 8 for l in lines)

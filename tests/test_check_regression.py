@@ -1,0 +1,72 @@
+"""The benchmark regression gate's missing-benchmark policy: a
+baseline entry absent from the fresh run fails with the benchmark's
+name; skips-with-reason stay exempt."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression",
+    Path(__file__).resolve().parent.parent / "benchmarks"
+    / "check_regression.py")
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+
+def _write(tmp_path, name, benchmarks):
+    path = tmp_path / name
+    path.write_text(json.dumps({"schema": 1,
+                                "benchmarks": benchmarks}))
+    return str(path)
+
+
+def _gate(tmp_path, current, baseline):
+    cur = _write(tmp_path, "current.json", current)
+    base = _write(tmp_path, "baseline.json", baseline)
+    return check_regression.main([cur, "--baseline", base])
+
+
+BENCH = {"best_s": 1.0, "cv": 0.01}
+
+
+class TestMissingBenchmark:
+    def test_missing_baseline_benchmark_fails_named(self, tmp_path,
+                                                    capsys):
+        rc = _gate(tmp_path, {"kept": BENCH},
+                   {"kept": BENCH, "vanished": BENCH})
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "missing benchmark: vanished" in out
+
+    def test_baseline_skip_with_reason_is_exempt(self, tmp_path,
+                                                 capsys):
+        rc = _gate(tmp_path, {"kept": BENCH},
+                   {"kept": BENCH,
+                    "gated": {"skipped": "needs 4 CPUs"}})
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "needs 4 CPUs" in out
+
+    def test_current_skip_with_reason_is_exempt(self, tmp_path):
+        rc = _gate(tmp_path,
+                   {"kept": BENCH,
+                    "gated": {"skipped": "needs 4 CPUs"}},
+                   {"kept": BENCH, "gated": BENCH})
+        assert rc == 0
+
+    def test_new_benchmark_never_fails(self, tmp_path):
+        rc = _gate(tmp_path, {"kept": BENCH, "brand_new": BENCH},
+                   {"kept": BENCH})
+        assert rc == 0
+
+    def test_regression_still_fails(self, tmp_path):
+        rc = _gate(tmp_path, {"kept": {"best_s": 2.0, "cv": 0.01}},
+                   {"kept": BENCH})
+        assert rc == 1
+
+    def test_clean_run_passes(self, tmp_path):
+        rc = _gate(tmp_path, {"kept": BENCH}, {"kept": BENCH})
+        assert rc == 0

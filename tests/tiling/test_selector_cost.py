@@ -1,0 +1,64 @@
+"""Cost-guided tile-size selection: analytic ranking must find the
+exhaustive sweep's winner with a fraction of its simulator runs."""
+
+import pytest
+
+from repro.apps import sor
+from repro.runtime import ClusterSpec
+from repro.tiling.selector import cost_guided_extent, sweep_best_extent
+
+
+@pytest.fixture(scope="module")
+def setting():
+    app = sor.app(10, 14)
+
+    def h_of(z):
+        return sor.h_nonrectangular(2, 3, z)
+
+    return app, h_of
+
+
+class TestCostGuided:
+    def test_beats_sweep_with_3x_fewer_sims(self, setting):
+        # The ISSUE acceptance: makespan no worse than the exhaustive
+        # sweep winner, with at least 3x fewer simulator evaluations.
+        app, h_of = setting
+        spec = ClusterSpec()
+        cands = list(range(2, 10))
+        cg = cost_guided_extent(h_of, app.nest, 2, spec, cands)
+        sw = sweep_best_extent(h_of, app.nest, 2, spec, cands)
+        assert cg.best_makespan <= sw.best_makespan
+        assert cg.simulator_evals * 3 <= len(cands)
+        assert cg.candidate_count == len(cands)
+
+    def test_prediction_is_the_simulation(self, setting):
+        # The analytic curve *is* the simulator's (COST03 bitwise
+        # exactness), so the frontier's winner is the global winner.
+        app, h_of = setting
+        spec = ClusterSpec()
+        cg = cost_guided_extent(h_of, app.nest, 2, spec,
+                                list(range(2, 8)))
+        predicted = dict(cg.predicted_curve)
+        assert predicted[cg.best_extent] == cg.best_makespan
+        assert cg.best_extent in cg.frontier
+
+    def test_top_k_clamped_to_one(self, setting):
+        app, h_of = setting
+        cg = cost_guided_extent(h_of, app.nest, 2, ClusterSpec(),
+                                [2, 3], top_k=0)
+        assert cg.simulator_evals == 1
+
+    def test_all_deadlocked_candidates_raise(self):
+        # Forced rendezvous deadlocks the rect SOR pipeline at every
+        # extent — the selector must refuse, not simulate a hang.
+        import dataclasses
+
+        app = sor.app(4, 6)
+        spec = dataclasses.replace(ClusterSpec(),
+                                   rendezvous_threshold=0)
+
+        def h_of(z):
+            return sor.h_rectangular(2, 3, z)
+
+        with pytest.raises(ValueError, match="deadlock"):
+            cost_guided_extent(h_of, app.nest, 2, spec, [4, 5])
