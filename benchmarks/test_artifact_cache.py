@@ -1,0 +1,83 @@
+"""Artifact cache speedup guard: warm load vs cold compile.
+
+The tentpole claim of the artifact layer is amortized compilation —
+loading a stored program must be at least :data:`SPEEDUP_FLOOR` times
+faster than compiling it, on the paper-scale SOR space (200x400, tile
+26x76x8: 2840 tiles, 50 processors), while producing a program whose
+``simulate()`` RunStats compare equal to the fresh compile's.
+
+Both sides measure the full user-facing path through
+``ArtifactCache.get_or_compile``: the cold side pays compile +
+precompile + store (what a miss actually costs), the warm side pays
+read + verify + reconstruct (what a hit actually costs).  In ``--quick``
+mode the measured times are additionally recorded for the CI
+regression gate; the floor asserts in both modes — this is the
+benchmark-gated acceptance criterion, so it must hold even on the
+smoke path.
+"""
+
+import shutil
+import tempfile
+import time
+
+import pytest
+
+from repro.apps import sor
+from repro.artifacts import ArtifactCache
+from repro.runtime import ClusterSpec, DistributedRun
+
+#: Minimum warm-load speedup over a cold compile of the same request.
+SPEEDUP_FLOOR = 10.0
+
+
+def _paper_sor():
+    return sor.app(200, 400), sor.h_rectangular(26, 76, 8), 2
+
+
+@pytest.mark.quick
+def test_artifact_warm_load_speedup(bench, request):
+    app, h, mdim = _paper_sor()
+    root = tempfile.mkdtemp(prefix="repro-artifact-bench-")
+    try:
+        cache = ArtifactCache(root)
+
+        t0 = time.perf_counter()
+        cold_prog, status = cache.get_or_compile(app.nest, h, mdim)
+        t_cold = time.perf_counter() - t0
+        assert status == "miss"
+
+        # Warm loads, best of three (first touch also warms the page
+        # cache for the artifact file, which a served workload enjoys).
+        t_warm = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            warm_prog, status = cache.get_or_compile(app.nest, h, mdim)
+            t_warm = min(t_warm, time.perf_counter() - t0)
+            assert status == "hit"
+
+        speedup = t_cold / t_warm
+        print(f"\nartifact cache (sor 200x400, t=26x76x8, "
+              f"{len(cold_prog.dist.tiles)} tiles): cold "
+              f"{t_cold * 1e3:.1f} ms, warm {t_warm * 1e3:.1f} ms "
+              f"-> {speedup:.1f}x")
+
+        spec = ClusterSpec()
+        assert DistributedRun(cold_prog, spec).simulate() == \
+            DistributedRun(warm_prog, spec).simulate()
+
+        if request.config.getoption("--quick"):
+            bench.measure("artifact_cold_compile_sor",
+                          lambda: ArtifactCache(
+                              tempfile.mkdtemp(dir=root)
+                          ).get_or_compile(app.nest, h, mdim),
+                          repeats=1)
+            bench.measure("artifact_warm_load_sor",
+                          lambda: cache.get_or_compile(app.nest, h,
+                                                       mdim),
+                          repeats=3)
+
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"warm artifact load only {speedup:.1f}x faster than cold "
+            f"compile (floor {SPEEDUP_FLOOR}x)")
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

@@ -1,0 +1,69 @@
+"""(De)serialization of compile-time certificates.
+
+The happens-before certifier (:mod:`repro.analysis.hb`) and the static
+cost certifier (:mod:`repro.analysis.cost`) both cache their proof
+objects on the :class:`~repro.runtime.executor.TiledProgram` they
+certify.  The artifact layer (:mod:`repro.artifacts`) persists those
+caches alongside the program geometry so a cache hit ships *proved*
+schedules: transval/verify/certification run once at artifact-creation
+time and never again for the same content key.
+
+Certificates are pure-data dataclass trees (diagnostics, event graphs,
+vector clocks, edge volumes) over builtins and numpy arrays, so a
+pickle envelope is faithful; the envelope carries its own version gate
+independent of the artifact format's, because certificate *shapes* can
+evolve without the geometry schema moving.  A version mismatch load
+returns no certificates (callers fall back to lazy re-certification) —
+never an error, and never a silently wrong proof object.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import TYPE_CHECKING, Any, Dict, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.executor import TiledProgram
+
+#: Bump whenever HBCertificate / CostCertificate (or anything they
+#: transitively contain) changes shape.
+CERT_STATE_VERSION = 1
+
+
+def dump_certificates(program: "TiledProgram") -> bytes:
+    """Snapshot every certificate cached on ``program``.
+
+    The snapshot is keyed exactly like the program's own caches
+    (protocol, overlap, mailbox depth, spec), so restoring reproduces
+    the same memoization the certifiers would have built lazily.
+    """
+    envelope: Dict[str, Any] = {
+        "version": CERT_STATE_VERSION,
+        "hb": dict(program._hb_cache),
+        "cost": dict(program._cost_cache),
+    }
+    return pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_certificates(program: "TiledProgram", blob: bytes
+                      ) -> Tuple[int, int]:
+    """Seed ``program``'s certificate caches from a snapshot.
+
+    Returns ``(hb_count, cost_count)`` — the number of certificates
+    restored.  A snapshot from a different :data:`CERT_STATE_VERSION`
+    (or an undecodable blob) restores nothing: the caches stay empty
+    and the certifiers recompute lazily on first use.
+    """
+    try:
+        envelope = pickle.loads(blob)
+    except Exception:
+        return (0, 0)
+    if not isinstance(envelope, dict):
+        return (0, 0)
+    if envelope.get("version") != CERT_STATE_VERSION:
+        return (0, 0)
+    hb = envelope.get("hb") or {}
+    cost = envelope.get("cost") or {}
+    program._hb_cache.update(hb)
+    program._cost_cache.update(cost)
+    return (len(hb), len(cost))

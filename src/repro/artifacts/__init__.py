@@ -1,0 +1,37 @@
+"""Compiled programs as first-class, content-addressed artifacts.
+
+- :mod:`repro.artifacts.hashing` — canonical content key over
+  (nest, H, mapping dim, format version);
+- :mod:`repro.artifacts.format` — the versioned on-disk snapshot of a
+  compiled :class:`~repro.runtime.executor.TiledProgram` and its
+  bitwise-equivalent reconstruction;
+- :mod:`repro.artifacts.cache` — the directory cache with atomic
+  writes and hit/miss accounting (`repro compile --cache-dir`,
+  `repro serve`).
+"""
+
+from repro.artifacts.cache import ARTIFACT_SUFFIX, ArtifactCache, cache_from_env
+from repro.artifacts.format import (
+    MAGIC,
+    ArtifactError,
+    read_artifact,
+    restore_program,
+    snapshot_program,
+    write_artifact,
+)
+from repro.artifacts.hashing import FORMAT_VERSION, canonical_nest, content_key
+
+__all__ = [
+    "ARTIFACT_SUFFIX",
+    "FORMAT_VERSION",
+    "MAGIC",
+    "ArtifactCache",
+    "ArtifactError",
+    "cache_from_env",
+    "canonical_nest",
+    "content_key",
+    "read_artifact",
+    "restore_program",
+    "snapshot_program",
+    "write_artifact",
+]

@@ -348,6 +348,41 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def cmd_compile(args) -> int:
+    import time
+
+    from repro.artifacts import ArtifactCache, content_key
+
+    app = _build_app(args.app, args.sizes)
+    h = _build_h(args.app, args.shape, args.tile)
+    cache = ArtifactCache(args.cache_dir)
+    t0 = time.perf_counter()
+    prog, status = cache.get_or_compile(app.nest, h, app.mapping_dim,
+                                        verify=args.verify)
+    elapsed = time.perf_counter() - t0
+    key = content_key(app.nest, h, app.mapping_dim)
+    print(f"key     : {key}")
+    print(f"status  : {status}")
+    print(f"elapsed : {elapsed*1e3:.1f} ms")
+    print(f"tiles   : {len(prog.dist.tiles)}  "
+          f"processors: {prog.num_processors}")
+    print(f"artifact: {cache.path_for(key)}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import run_server
+
+    try:
+        asyncio.run(run_server(args.cache_dir, args.host, args.port,
+                               verify=args.verify))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -497,6 +532,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_fig.add_argument("--html", help="also write a standalone "
                                       "HTML/SVG report")
     p_fig.set_defaults(fn=cmd_figure)
+
+    p_comp = sub.add_parser(
+        "compile",
+        help="compile through the content-addressed artifact cache")
+    _common_flags(p_comp)
+    p_comp.add_argument("--cache-dir", required=True,
+                        help="artifact cache directory")
+    p_comp.add_argument("--verify", action="store_true",
+                        help="run transval verification on cache misses "
+                             "(hits reuse the stored, already-verified "
+                             "program)")
+    p_comp.set_defaults(fn=cmd_compile)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="long-running compile server over the artifact cache")
+    p_srv.add_argument("--cache-dir", required=True,
+                       help="artifact cache directory")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=7421,
+                       help="TCP port (0 = pick a free port)")
+    p_srv.add_argument("--verify", action="store_true",
+                       help="run transval verification on cache misses")
+    p_srv.set_defaults(fn=cmd_serve)
 
     args = parser.parse_args(argv)
     return args.fn(args)

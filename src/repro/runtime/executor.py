@@ -85,8 +85,38 @@ class TiledProgram:
                  mapping_dim: Optional[int] = None,
                  verify: bool = False):
         check_legal_tiling(h, nest.dependences)
+        self._build(nest, TilingTransformation(h, nest.domain), mapping_dim)
+        if verify:
+            # Guard mode: refuse to hand out a program the static
+            # verifier can prove will race, deadlock, or address out of
+            # bounds.  Import lazily — the analysis package depends on
+            # this module.
+            from repro.analysis.verifier import verify_program
+            verify_program(self)
+
+    @classmethod
+    def from_compiled_state(cls, nest: LoopNest,
+                            tiling: TilingTransformation,
+                            mapping_dim: Optional[int] = None,
+                            ) -> "TiledProgram":
+        """Construct-from-artifact path (see :mod:`repro.artifacts`).
+
+        ``tiling`` arrives with its derived geometry already seeded
+        (enumerated tiles, tile-dependence sets, masks), so none of the
+        expensive pipeline stages — legality proof, Fourier-Motzkin
+        tile enumeration, lattice sweeps — re-run.  The caller is
+        responsible for only passing state that was produced by a
+        legality-checked compile of the *same* (nest, H, mapping_dim);
+        the artifact layer enforces this through its content hash.
+        """
+        prog = cls.__new__(cls)
+        prog._build(nest, tiling, mapping_dim)
+        return prog
+
+    def _build(self, nest: LoopNest, tiling: TilingTransformation,
+               mapping_dim: Optional[int]) -> None:
         self.nest = nest
-        self.tiling = TilingTransformation(h, nest.domain)
+        self.tiling = tiling
         self.dist = ComputationDistribution(self.tiling, mapping_dim)
         self.comm = CommunicationSpec(self.tiling, nest.dependences,
                                       self.dist.m)
@@ -117,13 +147,9 @@ class TiledProgram:
         # are immutable compile-time artifacts shared by the runtime,
         # the HB graph and the cost certifier).
         self._rank_plans_cache: Optional[Dict[int, object]] = None
-        if verify:
-            # Guard mode: refuse to hand out a program the static
-            # verifier can prove will race, deadlock, or address out of
-            # bounds.  Import lazily — the analysis package depends on
-            # this module.
-            from repro.analysis.verifier import verify_program
-            verify_program(self)
+        # Pre-pickled plans from an artifact, decoded lazily on first
+        # build_rank_plans call (see repro.artifacts.format).
+        self._rank_plans_blob: Optional[bytes] = None
 
     # -- static queries ----------------------------------------------------------
 
@@ -524,7 +550,7 @@ class DistributedRun:
                         yield Recv(source=prog.rank_of[src],
                                    tag=prog.message_tag(dm))
                         yield Compute(spec.pack_time(nelems) * f)
-                    pts = prog.tiling.tile_point_count(tile)
+                    pts = prog.tile_point_count(tile)
                     yield Compute(spec.compute_time(pts) * f)
                     for dm, dst in prog.send_plan(tile):
                         full_dir = dm[:prog.dist.m] + (0,) + dm[prog.dist.m:]
@@ -561,6 +587,11 @@ class DistributedRun:
         tag_of = {ds: i for i, ds in enumerate(ds_list)}
 
         def make_program(pid: Pid) -> NodeFn:
+            # Same per-rank CPU slowdown as simulate(): the ablation
+            # must differ from the paper scheme only in message
+            # aggregation, never in the cost model.
+            f = spec.node_speed_factor(prog.rank_of[pid])
+
             def node(api: RankApi) -> Generator:
                 for tile in dist.tiles_of(pid):
                     # receive one message per crossing dependence whose
@@ -577,9 +608,9 @@ class DistributedRun:
                                     in zip(dist.pid_of(tile), dm))
                         yield Recv(source=prog.rank_of[src],
                                    tag=tag_of[ds])
-                        yield Compute(spec.pack_time(nelems))
-                    pts = prog.tiling.tile_point_count(tile)
-                    yield Compute(spec.compute_time(pts))
+                        yield Compute(spec.pack_time(nelems) * f)
+                    pts = prog.tile_point_count(tile)
+                    yield Compute(spec.compute_time(pts) * f)
                     # send one message per crossing dependence with a
                     # valid successor tile
                     for ds in ds_list:
@@ -594,7 +625,7 @@ class DistributedRun:
                         dm = comm.project(ds)
                         dst = tuple(a + b for a, b
                                     in zip(dist.pid_of(tile), dm))
-                        yield Compute(spec.pack_time(nelems))
+                        yield Compute(spec.pack_time(nelems) * f)
                         yield Send(dest=prog.rank_of[dst],
                                    tag=tag_of[ds], nelems=nelems)
             return node
@@ -623,7 +654,7 @@ class DistributedRun:
         ttis = prog.tiling.ttis
         dist = prog.dist
         lat = ttis.lattice_points_np()
-        order = np.lexsort(lat.T[::-1])  # lexicographic execution order
+        order = prog.dense_lex_order()  # frozen lexicographic order
         narr = len(prog.arrays)
         # Global result assembled at the end (the paper's write-back to DS).
         global_arrays: Dict[str, Dict[Tuple[int, ...], float]] = {
@@ -758,7 +789,7 @@ class DistributedRun:
         m = dist.m
         lat = ttis.lattice_points_np()
         tis = ttis.tis_points_np()
-        lex_order = np.lexsort(lat.T[::-1])
+        lex_order = prog.dense_lex_order()
         narr = len(prog.arrays)
         amat, bvec = tiling._amat, tiling._bvec
         v_np = np.asarray(ttis.v, dtype=np.int64)
@@ -825,7 +856,7 @@ class DistributedRun:
                                 payload[ai * cnt:(ai + 1) * cnt]
                     # COMPUTE ------------------------------------------------
                     yield Compute(spec.compute_time(
-                        prog.tiling.tile_point_count(tile)))
+                        prog.tile_point_count(tile)))
                     origin = np.asarray(tiling.tile_origin(tile),
                                         dtype=np.int64)
                     for batch in tile_batches(tile):
@@ -969,9 +1000,14 @@ class DistributedRun:
         The receiver re-derives the sender's region (it knows the
         predecessor tile) and scatters values into the halo slots
         ``map(j', t) - d^S_k v_k / c_k`` of Table RECEIVE.
+
+        The intra-region payload order is the program's frozen
+        :meth:`TiledProgram.dense_lex_order` — the exact order
+        :meth:`_pack` serialized with — so no per-message ``lexsort``
+        over the full lattice is ever recomputed here.
         """
         lat = prog.tiling.ttis.lattice_points_np()
-        order = np.lexsort(lat.T[::-1])
+        order = prog.dense_lex_order()
         region = prog.region_mask(pred, ds)
         idx = order[region[order]]
         pos = 0

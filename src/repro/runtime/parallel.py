@@ -57,6 +57,7 @@ per-rank split becomes an attribution, not a measurement.
 from __future__ import annotations
 
 import os
+import pickle
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -203,6 +204,15 @@ def build_rank_plans(program: TiledProgram) -> Dict[int, RankPlan]:
     cached = program._rank_plans_cache
     if cached is not None:
         return cached
+    blob = program._rank_plans_blob
+    if blob is not None:
+        # Artifact-loaded programs carry the frozen plans pre-pickled;
+        # decoding is deferred to first use so cache-hit load latency
+        # does not pay for plans a simulate-only caller never touches.
+        program._rank_plans_blob = None
+        loaded: Dict[int, RankPlan] = pickle.loads(blob)
+        program._rank_plans_cache = loaded
+        return loaded
     narr = len(program.arrays)
     dist = program.dist
     plans: Dict[int, RankPlan] = {}

@@ -1,0 +1,14 @@
+"""``repro serve``: a long-running compile service.
+
+The server (:mod:`repro.serve.server`) multiplexes concurrent
+compile/simulate requests over framed JSON
+(:mod:`repro.serve.protocol`), backed by the content-addressed
+artifact cache (:mod:`repro.artifacts`) so repeated requests skip the
+compile pipeline entirely.  :mod:`repro.serve.client` is the matching
+synchronous client.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.server import CompileServer, run_server
+
+__all__ = ["CompileServer", "ServeClient", "ServeError", "run_server"]

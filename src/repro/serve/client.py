@@ -1,0 +1,85 @@
+"""Synchronous client helper for ``repro serve``.
+
+A thin blocking-socket wrapper over the framed-JSON protocol — enough
+for scripts, tests and the CLI to talk to a running server without
+pulling in asyncio::
+
+    with ServeClient("127.0.0.1", 7421) as c:
+        info = c.compile(app="sor", sizes=[200, 400], tile=[26, 76, 8])
+        print(info["source"], info["key"])
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional
+
+from repro.serve.protocol import recv_frame_sync, send_frame_sync
+
+
+class ServeError(RuntimeError):
+    """The server answered ``status: error``."""
+
+
+class ServeClient:
+    """One persistent connection to a compile server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7421,
+                 timeout: Optional[float] = 60.0):
+        self.sock = socket.create_connection((host, port),
+                                             timeout=timeout)
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        send_frame_sync(self.sock, {"op": op, **params})
+        resp = recv_frame_sync(self.sock)
+        if resp is None:
+            raise ConnectionError("server closed the connection")
+        if resp.get("status") != "ok":
+            raise ServeError(resp.get("error", "unknown server error"))
+        return resp
+
+    # -- conveniences ---------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def compile(self, app: str, sizes: List[int], tile: List[int],
+                shape: str = "rect",
+                mapping_dim: Optional[int] = None) -> Dict[str, Any]:
+        params: Dict[str, Any] = {
+            "app": app, "sizes": sizes, "tile": tile, "shape": shape,
+        }
+        if mapping_dim is not None:
+            params["mapping_dim"] = mapping_dim
+        return self.request("compile", **params)
+
+    def simulate(self, app: str, sizes: List[int], tile: List[int],
+                 shape: str = "rect",
+                 mapping_dim: Optional[int] = None,
+                 spec: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        params: Dict[str, Any] = {
+            "app": app, "sizes": sizes, "tile": tile, "shape": shape,
+        }
+        if mapping_dim is not None:
+            params["mapping_dim"] = mapping_dim
+        if spec:
+            params["spec"] = spec
+        return self.request("simulate", **params)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")
+
+    def shutdown(self) -> None:
+        self.request("shutdown")

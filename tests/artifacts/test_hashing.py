@@ -1,0 +1,87 @@
+"""Content-key semantics: stability, sensitivity, and canonicalization."""
+
+import subprocess
+import sys
+
+from repro.apps import jacobi, sor
+from repro.artifacts import content_key
+from repro.loops.nest import LoopNest
+
+KEY_SNIPPET = """\
+import sys
+from repro.apps import sor
+from repro.artifacts import content_key
+app = sor.app(4, 6)
+h = sor.h_rectangular(2, 3, 4)
+sys.stdout.write(content_key(app.nest, h, 2))
+"""
+
+
+def _subprocess_key(hashseed):
+    out = subprocess.run(
+        [sys.executable, "-c", KEY_SNIPPET],
+        capture_output=True, text=True, check=True,
+        env={"PYTHONPATH": "src", "PYTHONHASHSEED": str(hashseed),
+             "PATH": "/usr/bin:/bin"},
+        cwd="/root/repo")
+    return out.stdout.strip()
+
+
+class TestStability:
+    def test_stable_within_process(self):
+        app = sor.app(4, 6)
+        h = sor.h_rectangular(2, 3, 4)
+        assert content_key(app.nest, h, 2) == content_key(app.nest, h, 2)
+
+    def test_stable_across_process_restarts(self):
+        """The key must not depend on interpreter state — two fresh
+        processes with *different* PYTHONHASHSEED values (which perturb
+        dict/set iteration order) must agree with each other and with
+        this process."""
+        app = sor.app(4, 6)
+        h = sor.h_rectangular(2, 3, 4)
+        here = content_key(app.nest, h, 2)
+        assert _subprocess_key(0) == here
+        assert _subprocess_key(424242) == here
+
+
+class TestSensitivity:
+    def test_h_changes_key(self):
+        app = sor.app(4, 6)
+        assert content_key(app.nest, sor.h_rectangular(2, 3, 4), 2) != \
+            content_key(app.nest, sor.h_rectangular(2, 3, 5), 2)
+
+    def test_shape_changes_key(self):
+        app = sor.app(4, 6)
+        assert content_key(app.nest, sor.h_rectangular(2, 3, 4), 2) != \
+            content_key(app.nest, sor.h_nonrectangular(2, 3, 4), 2)
+
+    def test_domain_changes_key(self):
+        h = sor.h_rectangular(2, 3, 4)
+        assert content_key(sor.app(4, 6).nest, h, 2) != \
+            content_key(sor.app(4, 7).nest, h, 2)
+
+    def test_mapping_dim_changes_key(self):
+        app = sor.app(4, 6)
+        h = sor.h_rectangular(2, 3, 4)
+        keys = {content_key(app.nest, h, m) for m in (None, 0, 1, 2)}
+        assert len(keys) == 4
+
+    def test_different_apps_differ(self):
+        assert content_key(sor.app(4, 6).nest,
+                           sor.h_rectangular(2, 3, 4), 2) != \
+            content_key(jacobi.app(3, 5, 5).nest,
+                        jacobi.h_rectangular(2, 3, 3), 0)
+
+
+class TestCanonicalization:
+    def test_name_is_not_hashed(self):
+        """Two structurally identical nests with different display
+        names are the same compile request."""
+        app = sor.app(4, 6)
+        nest = app.nest
+        renamed = LoopNest(name="something-else", domain=nest.domain,
+                           statements=nest.statements,
+                           dependences=nest.dependences)
+        h = sor.h_rectangular(2, 3, 4)
+        assert content_key(nest, h, 2) == content_key(renamed, h, 2)

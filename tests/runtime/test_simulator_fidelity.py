@@ -1,0 +1,128 @@
+"""Regression tests pinning the simulator fidelity fixes.
+
+Three bugs, three pins:
+
+1. ``simulate_unaggregated`` must apply the same per-rank
+   ``node_speed_factor`` as ``simulate()`` — the aggregation ablation
+   may only differ in message structure, never in the CPU cost model.
+2. The executor must reuse the one frozen ``dense_lex_order()`` instead
+   of re-running ``np.lexsort`` over the TTIS lattice per message.
+3. Hot paths must route per-tile point counts through the program-level
+   cache (``TiledProgram.tile_point_count``), so repeated runs never
+   re-reduce partial-tile masks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import sor
+from repro.runtime.executor import DistributedRun, TiledProgram
+from repro.runtime.machine import ClusterSpec
+
+
+@pytest.fixture(scope="module")
+def prog():
+    app = sor.app(4, 6)
+    return TiledProgram(app.nest, sor.h_rectangular(2, 3, 4),
+                        mapping_dim=2)
+
+
+class TestHeterogeneousUnaggregated:
+    def test_speed_factors_scale_unaggregated_compute(self, prog):
+        """On a heterogeneous spec every Compute/pack term of rank r is
+        scaled by f_r, so per-rank compute_time scales *exactly*
+        linearly; before the fix the ablation silently ran every rank
+        at nominal speed (ratio 1.0 everywhere)."""
+        factors = tuple(1.0 + 0.5 * r
+                        for r in range(prog.num_processors))
+        hom = ClusterSpec()
+        het = ClusterSpec(node_speed_factors=factors)
+        s_hom = DistributedRun(prog, hom).simulate_unaggregated()
+        s_het = DistributedRun(prog, het).simulate_unaggregated()
+        for r in range(prog.num_processors):
+            assert s_hom.compute_time[r] > 0
+            ratio = s_het.compute_time[r] / s_hom.compute_time[r]
+            assert ratio == pytest.approx(factors[r], rel=1e-12)
+        # The slowdown must also move the makespan.
+        assert s_het.makespan > s_hom.makespan
+
+    def test_matches_simulate_cost_model(self, prog):
+        """Aggregated and unaggregated modes see the *same* per-rank
+        slowdown: their heterogeneous/homogeneous compute-time ratios
+        agree rank by rank."""
+        factors = tuple(2.0 if r % 2 else 1.0
+                        for r in range(prog.num_processors))
+        het = ClusterSpec(node_speed_factors=factors)
+        hom = ClusterSpec()
+        agg_ratio = [
+            DistributedRun(prog, het).simulate().compute_time[r] /
+            DistributedRun(prog, hom).simulate().compute_time[r]
+            for r in range(prog.num_processors)
+        ]
+        una_ratio = [
+            DistributedRun(prog, het).simulate_unaggregated()
+            .compute_time[r] /
+            DistributedRun(prog, hom).simulate_unaggregated()
+            .compute_time[r]
+            for r in range(prog.num_processors)
+        ]
+        assert una_ratio == pytest.approx(agg_ratio, rel=1e-12)
+
+
+class TestLexsortReuse:
+    def test_execute_runs_lexsort_at_most_once(self, monkeypatch):
+        """After the frozen order exists, a full data-mode run (which
+        packs and unpacks many messages) must not lexsort again; the
+        bug re-sorted the whole lattice per received message."""
+        app = sor.app(4, 6)
+        fresh = TiledProgram(app.nest, sor.h_rectangular(2, 3, 4),
+                             mapping_dim=2)
+        spec = ClusterSpec()
+        calls = []
+        real = np.lexsort
+        monkeypatch.setattr(
+            np, "lexsort", lambda *a, **k: (calls.append(1),
+                                            real(*a, **k))[1])
+        fresh.dense_lex_order()
+        assert len(calls) == 1  # the one frozen sort
+        DistributedRun(fresh, spec).execute(app.init_value)
+        DistributedRun(fresh, spec).execute_dense(app.init_value)
+        assert len(calls) == 1, "lexsort re-ran on a hot path"
+
+    def test_sparse_and_dense_payload_order_agree(self):
+        """The deduped order leaves payload layout unchanged: sparse
+        execute and dense execute still agree bitwise cell by cell."""
+        from repro.runtime import arrays_match, dense_to_cells
+        app = sor.app(4, 6)
+        prog = TiledProgram(app.nest, sor.h_rectangular(2, 3, 4),
+                            mapping_dim=2)
+        spec = ClusterSpec()
+        sparse, s_stats = DistributedRun(prog, spec).execute(
+            app.init_value)
+        dense, d_stats = DistributedRun(prog, spec).execute_dense(
+            app.init_value)
+        assert s_stats == d_stats
+        assert arrays_match(sparse, dense_to_cells(dense))
+
+
+class TestPointCountCache:
+    def test_hot_paths_use_program_cache(self, monkeypatch):
+        """Once the program cache is warm, simulate / ablation /
+        execute_dense must never call the tiling-level point count
+        again (each such call on a partial tile re-reduces its mask)."""
+        app = sor.app(4, 6)
+        prog = TiledProgram(app.nest, sor.h_rectangular(2, 3, 4),
+                            mapping_dim=2)
+        spec = ClusterSpec()
+        for tile in prog.dist.tiles:
+            prog.tile_point_count(tile)
+
+        calls = []
+        real = prog.tiling.tile_point_count
+        monkeypatch.setattr(
+            prog.tiling, "tile_point_count",
+            lambda t: (calls.append(t), real(t))[1])
+        DistributedRun(prog, spec).simulate()
+        DistributedRun(prog, spec).simulate_unaggregated()
+        DistributedRun(prog, spec).execute_dense(app.init_value)
+        assert calls == [], "hot path bypassed the point-count cache"

@@ -1,0 +1,139 @@
+"""`repro serve`: concurrency, hit/miss accounting, error handling.
+
+The server runs in a daemon thread with its own event loop; clients are
+the real synchronous :class:`ServeClient` over real TCP sockets, so
+these tests exercise the full wire path including framing.
+"""
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serve import CompileServer, ServeClient, ServeError
+
+REQ = {"app": "sor", "sizes": [4, 6], "tile": [2, 3, 4],
+       "shape": "rect"}
+
+
+class ServerThread:
+    """A CompileServer on a background event loop, for blocking tests."""
+
+    def __init__(self, cache_dir):
+        self.cache_dir = str(cache_dir)
+        self.addr = None
+        self.server = None
+        self._started = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        assert self._started.wait(timeout=30), "server failed to start"
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self.server = CompileServer(self.cache_dir)
+        self.addr = await self.server.start()
+        self._started.set()
+        await self.server.serve_forever()
+
+    def client(self):
+        return ServeClient(*self.addr)
+
+    def join(self, timeout=30):
+        self.thread.join(timeout)
+        assert not self.thread.is_alive(), "server did not stop"
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = ServerThread(tmp_path / "cache")
+    yield srv
+    try:
+        with srv.client() as c:
+            c.shutdown()
+    except (ConnectionError, OSError):
+        pass  # a test already shut it down
+    srv.join()
+
+
+class TestBasics:
+    def test_ping(self, server):
+        with server.client() as c:
+            assert c.ping()
+
+    def test_compile_then_memory_hit(self, server):
+        with server.client() as c:
+            r1 = c.compile(**REQ)
+            r2 = c.compile(**REQ)
+        assert r1["status"] == r2["status"] == "ok"
+        assert r1["source"] == "compile"
+        assert r2["source"] == "memory"
+        assert r1["key"] == r2["key"]
+        assert r1["tiles"] == r2["tiles"] > 0
+
+    def test_simulate_returns_run_stats(self, server):
+        with server.client() as c:
+            r = c.simulate(**REQ)
+        assert r["run"]["makespan"] > 0
+        assert r["run"]["total_messages"] > 0
+        assert len(r["run"]["compute_time"]) == r["processors"]
+
+    def test_bad_requests_are_errors_not_disconnects(self, server):
+        with server.client() as c:
+            with pytest.raises(ServeError, match="unknown app"):
+                c.compile(app="nope", sizes=[4, 6], tile=[2, 3, 4])
+            with pytest.raises(ServeError):
+                c.request("compile", app="sor")  # missing fields
+            with pytest.raises(ServeError, match="unknown op"):
+                c.request("frobnicate")
+            # The connection survives all three errors.
+            assert c.ping()
+            stats = c.stats()
+        assert stats["server"]["errors"] == 3
+
+
+class TestConcurrencyAndAccounting:
+    def test_two_concurrent_clients_single_compile(self, server):
+        """Two clients racing the same cold key: the compile is
+        single-flighted — exactly one pipeline run, the loser gets a
+        memory hit, and the accounting adds up."""
+
+        def one_client(_):
+            with server.client() as c:
+                return c.compile(**REQ)["source"]
+
+        with ThreadPoolExecutor(2) as ex:
+            sources = sorted(ex.map(one_client, range(2)))
+        assert sources == ["compile", "memory"]
+
+        with server.client() as c:
+            stats = c.stats()
+        assert stats["server"]["compiles"] == 1
+        assert stats["server"]["hits_memory"] == 1
+        assert stats["cache"]["stores"] == 1
+        assert stats["cache"]["misses"] == 1
+
+    def test_disk_hit_after_server_restart(self, tmp_path):
+        """A second server over the same cache directory serves the
+        program from disk — the pipeline ran once, ever."""
+        srv1 = ServerThread(tmp_path / "cache")
+        with srv1.client() as c:
+            assert c.compile(**REQ)["source"] == "compile"
+            c.shutdown()
+        srv1.join()
+
+        srv2 = ServerThread(tmp_path / "cache")
+        try:
+            with srv2.client() as c:
+                r = c.compile(**REQ)
+                stats = c.stats()
+        finally:
+            with srv2.client() as c:
+                c.shutdown()
+            srv2.join()
+        assert r["source"] == "disk"
+        assert stats["server"]["hits_disk"] == 1
+        assert stats["server"]["compiles"] == 0
+        assert stats["cache"]["hits"] == 1
