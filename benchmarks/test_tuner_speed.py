@@ -1,0 +1,77 @@
+"""Tuner pruning-ladder guard: cheap search, same winner.
+
+The tuner's value proposition is that its pruning ladder — analytic
+cost ranking, the COST04 lower-bound early stop, and the top-k shape
+frontier — finds the paper-grade winner while paying for only a
+fraction of the simulator runs an exhaustive sweep needs.  This bench
+pins that claim: on the reference SOR config the pruned search must
+use at least :data:`EVAL_FLOOR` times fewer simulator evaluations than
+the exhaustive configuration *and* crown the identical ``H`` matrix.
+
+The exhaustive side disables both pruning rungs explicitly:
+``stop_ratio=0.0`` can never satisfy the stop test (the bound ratio is
+strictly above 1 by construction), and a huge ``top_k`` widens the
+frontier to every costed candidate.  Identical candidate space, so the
+eval-count ratio isolates the ladder itself.
+
+In ``--quick`` mode the pruned search's wall time is additionally
+recorded as ``tune_sor_quick`` for the CI regression gate; the floor
+asserts in both modes.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps import sor
+from repro.runtime.machine import ClusterSpec
+from repro.tuning import TuneConfig, tune_tile_shape
+
+#: Minimum simulator-eval ratio, exhaustive over pruned.
+EVAL_FLOOR = 5.0
+
+
+def _reference():
+    return sor.app(8, 12), sor.h_rectangular(2, 3, 4), ClusterSpec()
+
+
+def _tune_pruned():
+    app, h, spec = _reference()
+    return tune_tile_shape(app.nest, app.mapping_dim, spec=spec,
+                           config=TuneConfig(), baseline_h=h)
+
+
+def _tune_exhaustive():
+    app, h, spec = _reference()
+    return tune_tile_shape(
+        app.nest, app.mapping_dim, spec=spec,
+        config=TuneConfig(stop_ratio=0.0, top_k=10 ** 6), baseline_h=h)
+
+
+@pytest.mark.quick
+def test_pruned_search_matches_exhaustive_winner(benchmark, bench,
+                                                 request):
+    pruned = run_once(benchmark, _tune_pruned)
+    exhaustive = _tune_exhaustive()
+
+    assert pruned.early_stop, "reference config must trip the stop rule"
+    assert not exhaustive.early_stop
+    assert pruned.simulator_evals > 0
+    ratio = exhaustive.simulator_evals / pruned.simulator_evals
+    print(f"\nsimulator evals: pruned {pruned.simulator_evals}, "
+          f"exhaustive {exhaustive.simulator_evals} -> {ratio:.1f}x")
+    print(f"pruned winner:     {pruned.winner.label} "
+          f"({pruned.winner.simulated_makespan:.6f}s)")
+    print(f"exhaustive winner: {exhaustive.winner.label} "
+          f"({exhaustive.winner.simulated_makespan:.6f}s)")
+
+    # Pinned winner: pruning may never change the answer, only its cost.
+    assert pruned.winner_h == exhaustive.winner_h
+    assert pruned.winner.simulated_makespan == \
+        exhaustive.winner.simulated_makespan
+
+    if request.config.getoption("--quick"):
+        bench.measure("tune_sor_quick", _tune_pruned, repeats=2)
+
+    assert ratio >= EVAL_FLOOR, (
+        f"pruning ladder saved only {ratio:.1f}x simulator evals "
+        f"(floor {EVAL_FLOOR}x)")

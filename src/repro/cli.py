@@ -370,6 +370,88 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def cmd_tune(args) -> int:
+    """Search the tiling cone for the best tile shape (``repro tune``).
+
+    The ``--tile``/``--shape`` flags name the *baseline* tiling (the
+    paper's hand-picked shape); the tuner explores legal alternatives
+    from the cone and reports a winner that beats or matches it.  With
+    ``--cache-dir`` the run is content-addressed: a warm re-tune is a
+    byte-identical cache read with zero pipeline work, and the winning
+    shape's compiled program lands in the same directory's artifact
+    cache.
+    """
+    import json as _json
+
+    from repro.runtime.machine import ClusterSpec
+    from repro.tuning import TuneConfig, tune_or_load, tune_tile_shape
+
+    app = _build_app(args.app, args.sizes)
+    baseline_h = _build_h(args.app, args.shape, args.tile)
+    spec = ClusterSpec()
+    config = TuneConfig(
+        extents=tuple(args.extents),
+        max_candidates=args.max_candidates,
+        top_k=args.top_k,
+        stop_ratio=args.stop_ratio,
+        protocol=args.protocol,
+        max_processors=args.max_processors,
+        measure_top=args.measure,
+        measure_workers=args.workers,
+    )
+    init = app.init_value if args.measure else None
+    if args.cache_dir:
+        report, status = tune_or_load(
+            app.nest, app.mapping_dim, spec, config, args.cache_dir,
+            baseline_h=baseline_h, init_value=init)
+        print(f"source  : {status}", file=sys.stderr)
+    else:
+        result = tune_tile_shape(
+            app.nest, app.mapping_dim, spec=spec, config=config,
+            baseline_h=baseline_h, init_value=init)
+        report = result.to_dict()
+    if args.json:
+        print(_json.dumps(report, sort_keys=True, indent=2))
+        return 0
+    counts = report["counts"]
+    winner = report["winner"]
+    baseline = report["baseline"]
+    print(f"nest    : {report['nest']['name']} "
+          f"(mapping dim {report['nest']['mapping_dim']})")
+    print(f"space   : {counts['candidates']} candidate(s) kept of "
+          f"{counts['generated']} generated "
+          f"({counts['deduplicated']} deduplicated, "
+          f"{counts['truncated']} truncated)")
+    print(f"costed  : {counts['costed']}  rejected: {counts['rejected']}  "
+          f"pruned after stop: {counts['pruned_after_stop']}")
+    stop = report["early_stop"]
+    if stop["fired"]:
+        print(f"early stop: {stop['reason']}")
+    print(f"simulated: {counts['simulator_evals']} frontier candidate(s)")
+    print(f"winner  : {winner['label']}")
+    print(f"          H rows: "
+          + "; ".join("[" + ", ".join(
+              str(n) if d == 1 else f"{n}/{d}" for n, d in row) + "]"
+              for row in winner["h"]))
+    print(f"          predicted {winner['predicted_makespan']:.6f}s, "
+          f"simulated {winner['simulated_makespan']:.6f}s on "
+          f"{winner['processors']} processors "
+          f"(speedup {winner['speedup']:.3f})")
+    if winner.get("measured_seconds") is not None:
+        print(f"          measured {winner['measured_seconds']:.3f}s "
+              f"wall-clock")
+    if baseline is not None:
+        b_sim = baseline["simulated_makespan"]
+        if b_sim is not None:
+            gain = b_sim / winner["simulated_makespan"]
+            print(f"baseline: {baseline['label']} simulated {b_sim:.6f}s "
+                  f"-> tuned shape is {gain:.2f}x")
+        else:
+            print(f"baseline: {baseline['label']} "
+                  f"({baseline['status']}: {baseline['reason']})")
+    return 0
+
+
 def cmd_serve(args) -> int:
     import asyncio
 
@@ -544,6 +626,46 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(hits reuse the stored, already-verified "
                              "program)")
     p_comp.set_defaults(fn=cmd_compile)
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="autotune the tile shape over the tiling cone "
+             "(cost -> simulate -> measure pruning ladder)")
+    _common_flags(p_tune)
+    p_tune.add_argument("--extents", type=int, nargs="+",
+                        default=[1, 2, 3, 4],
+                        help="per-row scale multipliers swept per "
+                             "direction basis")
+    p_tune.add_argument("--max-candidates", type=int, default=48,
+                        help="candidate cap after deduplication")
+    p_tune.add_argument("--top-k", type=int, default=None,
+                        help="frontier size to simulate (default: an "
+                             "eighth of the costed candidates)")
+    p_tune.add_argument("--stop-ratio", type=float, default=1.25,
+                        help="stop costing once the best candidate is "
+                             "within this factor of the Dinh & Demmel "
+                             "communication lower bound")
+    p_tune.add_argument("--protocol",
+                        choices=["spec", "eager", "rendezvous"],
+                        default="spec",
+                        help="protocol analyzed by the cost certifier "
+                             "and the simulator")
+    p_tune.add_argument("--max-processors", type=int, default=None,
+                        help="reject shapes needing more ranks "
+                             "(default: max of the cluster size and "
+                             "the baseline's rank count)")
+    p_tune.add_argument("--measure", type=int, default=0, metavar="N",
+                        help="run the N best finalists on the real "
+                             "parallel backend as the oracle")
+    p_tune.add_argument("--workers", type=int, default=None,
+                        help="worker processes for --measure")
+    p_tune.add_argument("--cache-dir", default=None,
+                        help="content-address the tuning record (and "
+                             "the winner's compiled artifact) under "
+                             "this directory")
+    p_tune.add_argument("--json", action="store_true",
+                        help="emit the full tuning report as JSON")
+    p_tune.set_defaults(fn=cmd_tune)
 
     p_srv = sub.add_parser(
         "serve",

@@ -12,6 +12,9 @@
 * :mod:`repro.tiling.selector` — tile-size selection along the mapping
   dimension (closed-form ratio balancing, empirical sweeps, and
   cost-certificate-guided pruning).
+* :mod:`repro.tiling.frontier` — the shared top-k pruning frontier of
+  every analytic-first search (tile-size selection and the tile-shape
+  tuner rank with the same code).
 """
 
 from repro.tiling.transform import TilingTransformation
@@ -27,6 +30,7 @@ from repro.tiling.shapes import (
     parallelepiped_tiling,
     cone_aligned_tiling,
 )
+from repro.tiling.frontier import Ranked, top_k_frontier
 from repro.tiling.selector import (
     CostGuidedOutcome,
     SweepOutcome,
@@ -46,6 +50,8 @@ __all__ = [
     "rectangular_tiling",
     "parallelepiped_tiling",
     "cone_aligned_tiling",
+    "Ranked",
+    "top_k_frontier",
     "CostGuidedOutcome",
     "SweepOutcome",
     "cost_guided_extent",

@@ -1,0 +1,57 @@
+"""The shared top-k pruning frontier of analytic-first searches.
+
+Both tile-*size* selection (:func:`repro.tiling.selector.
+cost_guided_extent`, PR 7) and tile-*shape* search
+(:mod:`repro.tuning`) follow the same ladder: rank every candidate by
+the static cost certifier's analytic makespan, then spend simulator
+evaluations only on the small analytically-best frontier.  The ranking
+and clamping rules live here, once, so the two paths cannot diverge:
+
+* candidates whose schedule deadlocks under the analyzed protocol
+  (infinite analytic makespan) never enter the frontier;
+* if *every* candidate deadlocks, ``ValueError`` is raised rather than
+  handing the simulator a program that cannot finish;
+* ties on the score break deterministically on the candidate's
+  ``order`` (its generation index), never on dict/hash order;
+* ``top_k`` is clamped to at least one survivor and defaults to a
+  quarter of the candidate count — a 4x simulator-evaluation saving on
+  any sweep of 4+ candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Default frontier fraction: simulate the best quarter of candidates.
+DEFAULT_FRACTION = 4
+
+
+@dataclass(frozen=True)
+class Ranked(Generic[T]):
+    """One scored candidate: analytic makespan + deterministic order."""
+
+    score: float                        # analytic makespan (inf = stuck)
+    order: int                          # generation index (tiebreak)
+    payload: T                          # whatever the caller carries
+
+
+def top_k_frontier(scored: Sequence[Ranked[T]],
+                   top_k: Optional[int] = None,
+                   fraction: int = DEFAULT_FRACTION) -> List[Ranked[T]]:
+    """The analytically-best finite candidates, worth simulating.
+
+    ``top_k=None`` keeps ``max(1, len(scored) // fraction)``
+    candidates; an explicit ``top_k`` is clamped to at least one.
+    """
+    finite = [s for s in scored if s.score != float("inf")]
+    if not finite:
+        raise ValueError(
+            "every candidate deadlocks under the analyzed protocol "
+            "(COST03); nothing is worth simulating")
+    if top_k is None:
+        top_k = max(1, len(scored) // max(1, int(fraction)))
+    finite.sort(key=lambda s: (s.score, s.order))
+    return finite[:max(1, int(top_k))]

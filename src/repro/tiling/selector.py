@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 from repro.linalg.ratmat import RatMat
 from repro.runtime.machine import ClusterSpec
+from repro.tiling.frontier import Ranked, top_k_frontier
 
 if TYPE_CHECKING:
     from repro.loops.nest import LoopNest
@@ -156,31 +157,29 @@ def cost_guided_extent(
     correction.  ``top_k`` defaults to ``max(1, len(candidates) // 4)``
     — a 4x simulator-evaluation saving on any sweep of 4+ extents.
 
-    Candidates whose schedule deadlocks under the model (infinite
-    analytic makespan) are excluded from the frontier; if every
-    candidate deadlocks a ``ValueError`` is raised rather than handing
-    the simulator a program it cannot finish.
+    Ranking, deadlock exclusion and clamping live in the shared
+    :func:`repro.tiling.frontier.top_k_frontier` (also used by the
+    tile-shape tuner, :mod:`repro.tuning`, so the two search paths
+    cannot diverge): candidates whose schedule deadlocks under the
+    model (infinite analytic makespan) are excluded from the frontier;
+    if every candidate deadlocks a ``ValueError`` is raised rather
+    than handing the simulator a program it cannot finish.
     """
     from repro.runtime.executor import DistributedRun, TiledProgram
 
-    scored: List[Tuple[float, int, "TiledProgram"]] = []
+    scored: List[Ranked[Tuple[int, "TiledProgram"]]] = []
     predicted: List[Tuple[int, float]] = []
     for ext in candidates:
         h = h_of_extent(int(ext))
         prog = TiledProgram(nest, h, mapping_dim=mapping_dim)
         cert = prog.cost_certificate(protocol="spec", spec=spec)
-        scored.append((cert.makespan, int(ext), prog))
+        scored.append(Ranked(score=cert.makespan, order=int(ext),
+                             payload=(int(ext), prog)))
         predicted.append((int(ext), cert.makespan))
-    if top_k is None:
-        top_k = max(1, len(scored) // 4)
-    finite = [s for s in scored if s[0] != float("inf")]
-    if not finite:
-        raise ValueError("every candidate extent deadlocks under the "
-                         "analyzed protocol (COST03)")
-    finite.sort(key=lambda t: (t[0], t[1]))
-    frontier = finite[:max(1, int(top_k))]
+    frontier = top_k_frontier(scored, top_k)
     best: Optional[Tuple[int, float, float]] = None
-    for _pred, ext, prog in frontier:
+    for ranked in frontier:
+        ext, prog = ranked.payload
         stats = DistributedRun(prog, spec).simulate()
         t_seq = spec.compute_time(prog.total_points())
         if best is None or stats.makespan < best[1]:
@@ -191,7 +190,7 @@ def cost_guided_extent(
         best_makespan=best[1],
         best_speedup=best[2],
         predicted_curve=tuple(predicted),
-        frontier=tuple(ext for _p, ext, _prog in frontier),
+        frontier=tuple(r.payload[0] for r in frontier),
         simulator_evals=len(frontier),
         candidate_count=len(scored),
     )

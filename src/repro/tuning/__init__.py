@@ -1,0 +1,50 @@
+"""Tile-shape autotuning over the tiling cone (``repro tune``).
+
+* :mod:`repro.tuning.candidates` — legal ``H`` candidates from the
+  cone's extreme rays (scaled/combined parallelepipeds, deduplicated
+  by canonical integer form).
+* :mod:`repro.tuning.tuner` — the cost -> simulate -> measure pruning
+  ladder with the Dinh & Demmel lower-bound early stop.
+* :mod:`repro.tuning.records` — content-addressed persistence of
+  tuning reports next to the program artifact cache.
+* :mod:`repro.tuning.schema` — the report's JSON schema and the
+  in-repo validator (``python -m repro.tuning.schema report.json``).
+"""
+
+from repro.tuning.candidates import (
+    CandidateSpace,
+    ShapeCandidate,
+    direction_pool,
+    generate_candidates,
+    hnf_key,
+)
+from repro.tuning.tuner import (
+    TUNE_FORMAT_VERSION,
+    CandidateTrace,
+    TuneConfig,
+    TuneResult,
+    h_from_doc,
+    tune_tile_shape,
+)
+from repro.tuning.records import (
+    TuneRecordStore,
+    tune_key,
+    tune_or_load,
+)
+
+__all__ = [
+    "CandidateSpace",
+    "ShapeCandidate",
+    "direction_pool",
+    "generate_candidates",
+    "hnf_key",
+    "TUNE_FORMAT_VERSION",
+    "CandidateTrace",
+    "TuneConfig",
+    "TuneResult",
+    "h_from_doc",
+    "tune_tile_shape",
+    "TuneRecordStore",
+    "tune_key",
+    "tune_or_load",
+]

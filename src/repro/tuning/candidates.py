@@ -1,0 +1,280 @@
+"""Legal tile-shape candidates from the tiling cone.
+
+The search space generalizes the paper's hand-picked experiments: every
+candidate ``H`` has rows ``r_k / s_k`` where the directions ``r_k`` are
+drawn from the tiling cone of the dependence set — its extreme rays
+plus (optionally) pairwise ray sums, which stay inside the cone by
+convexity — and the scales ``s_k`` set the tile extent along each
+hyperplane family.  Rows in the cone make ``H D >= 0`` hold by
+construction (Ramanujam & Sadayappan), so every emitted candidate is a
+*legal* tiling; a defensive legality check runs anyway so a buggy ray
+computation can never leak an illegal ``H`` into costing.
+
+Not every (rays, scales) pair compiles:
+
+* ``P = H^{-1}`` must be integral (the pipeline's tile side vectors are
+  lattice vectors) — each scale is therefore drawn as a multiple of the
+  smallest value making its column of ``R^{-1}`` integral;
+* the TTIS condensation needs ``c_k | v_kk`` and the paper's §3.2
+  communication scheme needs every transformed dependence to fit in
+  one tile.  Both surface as ``ValueError`` during program
+  construction and are reported as per-candidate rejections by the
+  tuner, never as crashes.
+
+Deduplication key
+-----------------
+Two candidates tile identically iff their ``H`` matrices are equal —
+``j^S = floor(H j)`` is a function of ``H`` alone.  The key is the
+integerized canonical form ``(V, V @ H)`` (``V`` the per-row
+denominator LCM, exactly the TTIS scaling whose Hermite Normal Form
+yields the loop strides), which collapses every respelling of the same
+rational ``H`` — non-primitive rays, a ray sum that reduces to another
+ray, redundant scale/denominator factorings — to one key.  The HNF of
+``V @ H`` itself would be *too* coarse a key: it is invariant under
+column operations, so it would merge the paper's rectangular and
+cone-skewed SOR tilings (same tile-origin lattice, different tile
+shapes, different communication) — ``tests/tuning/test_candidates.py``
+pins both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import combinations, permutations
+from math import gcd
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.linalg.ratmat import RatMat
+from repro.tiling.cone import in_tiling_cone, tiling_cone_rays
+from repro.tiling.legality import is_legal_tiling
+
+#: Canonical integer form of a candidate ``H``: (V diagonal, V @ H rows).
+DedupKey = Tuple[Tuple[int, ...], Tuple[Tuple[int, ...], ...]]
+
+
+@dataclass(frozen=True)
+class ShapeCandidate:
+    """One legal parallelepiped tiling drawn from the cone."""
+
+    h: RatMat
+    rays: Tuple[Tuple[int, ...], ...]    # primitive direction per row
+    scales: Tuple[int, ...]              # s_k: row k is rays[k] / s_k
+    key: DedupKey
+    order: int                           # deterministic generation index
+
+    @property
+    def label(self) -> str:
+        return "|".join(
+            f"{'+'.join(str(x) for x in ray)}/{s}"
+            for ray, s in zip(self.rays, self.scales))
+
+
+@dataclass(frozen=True)
+class CandidateSpace:
+    """What generation produced (and collapsed) for one nest."""
+
+    candidates: Tuple[ShapeCandidate, ...]
+    rays: Tuple[Tuple[int, ...], ...]    # the direction pool used
+    generated: int                       # before dedup/caps
+    deduplicated: int                    # collapsed by the HNF-form key
+    truncated: int                       # dropped by the max_candidates cap
+
+
+def hnf_key(h: RatMat) -> DedupKey:
+    """The integerized canonical form ``(V, V @ H)`` of a tiling.
+
+    ``V`` is the per-row denominator LCM (the TTIS scaling of §2.3,
+    whose column HNF yields the loop strides), so ``V @ H`` is the
+    smallest integer matrix representing ``H`` row-by-row.  Equal keys
+    <=> equal ``H``: unlike the HNF of ``V @ H`` itself, the key is
+    NOT invariant under column operations, so lattice-equal but
+    shape-distinct tilings (rectangular vs cone-skewed) stay distinct.
+    """
+    v = tuple(int(x) for x in h.denominator_lcm_per_row())
+    rows = tuple(
+        tuple(int(x * v[k]) for x in h.row(k)) for k in range(h.nrows))
+    return (v, rows)
+
+
+def _primitive(vec: Sequence[int]) -> Optional[Tuple[int, ...]]:
+    g = 0
+    for x in vec:
+        g = gcd(g, abs(int(x)))
+    if g == 0:
+        return None
+    return tuple(int(x) // g for x in vec)
+
+
+def direction_pool(deps: Sequence[Sequence[int]],
+                   include_combinations: bool = True,
+                   max_directions: int = 8) -> List[Tuple[int, ...]]:
+    """Primitive cone directions: extreme rays, then pairwise sums.
+
+    Extreme rays come first (Hodzic & Shang: scheduling-optimal shapes
+    take their faces from the cone boundary); pairwise sums add strict
+    interior directions for shapes between the boundary families.  The
+    pool is deduplicated by primitive form and capped deterministically
+    at ``max_directions``.
+    """
+    rays = tiling_cone_rays(deps)
+    pool: List[Tuple[int, ...]] = []
+    seen: Set[Tuple[int, ...]] = set()
+    for r in rays:
+        if r not in seen:
+            seen.add(r)
+            pool.append(r)
+    if include_combinations:
+        for a, b in combinations(rays, 2):
+            s = _primitive([x + y for x, y in zip(a, b)])
+            if s is None or s in seen:
+                continue
+            if not in_tiling_cone(s, deps):   # defensive; sums stay inside
+                continue
+            seen.add(s)
+            pool.append(s)
+    return pool[:max(1, int(max_directions))]
+
+
+def _min_scales(r_inv: RatMat) -> Tuple[int, ...]:
+    """Per-row minimal scale making ``H^{-1} = R^{-1} diag(s)`` integral.
+
+    Column ``k`` of ``H^{-1}`` is ``s_k`` times column ``k`` of
+    ``R^{-1}``; the smallest integral choice is the LCM of that
+    column's denominators.
+    """
+    out = []
+    for k in range(r_inv.ncols):
+        den = 1
+        for x in r_inv.col(k):
+            den = den * x.denominator // gcd(den, x.denominator)
+        out.append(den)
+    return tuple(out)
+
+
+def _prod(xs: Sequence[int]) -> int:
+    p = 1
+    for x in xs:
+        p *= int(x)
+    return p
+
+
+def _scale_vectors(base: Tuple[int, ...], extents: Sequence[int],
+                   max_volume_scale: int) -> Iterator[Tuple[int, ...]]:
+    """All per-row extent combinations, bounded by total scale product.
+
+    ``max_volume_scale`` bounds ``prod(t_k)`` — without it the grid is
+    ``|extents|^n`` and dominated by huge tiles the paper's §3.2
+    machinery would accept but no finite nest could fill.
+    """
+    n = len(base)
+
+    def rec(k: int, acc: Tuple[int, ...], prod_t: int
+            ) -> Iterator[Tuple[int, ...]]:
+        if k == n:
+            yield acc
+            return
+        for t in extents:
+            t = int(t)
+            if t <= 0 or prod_t * t > max_volume_scale:
+                continue
+            yield from rec(k + 1, acc + (t,), prod_t * t)
+
+    yield from rec(0, (), 1)
+
+
+def generate_candidates(deps: Sequence[Sequence[int]],
+                        extents: Sequence[int] = (1, 2, 3, 4),
+                        include_combinations: bool = True,
+                        max_directions: int = 8,
+                        max_bases: int = 12,
+                        max_volume_scale: int = 64,
+                        max_candidates: int = 64) -> CandidateSpace:
+    """Enumerate legal tile-shape candidates for a dependence set.
+
+    Bases (ordered ``n``-tuples of pool directions — order matters,
+    row ``k`` of ``H`` is tile-space dimension ``k`` and one of those
+    is the mapping chain) are ranked by ``|det R|`` ascending, small
+    determinants first: ``|det R| = 1`` bases give unimodular ``V H``
+    with unit strides, the cheapest TTIS walks.  Scales sweep
+    ``s_k = den_k * t_k`` over the ``extents`` grid, where ``den_k``
+    is the minimal scale keeping ``P = H^{-1}`` integral.
+    """
+    ds = [tuple(int(x) for x in d) for d in deps]
+    if not ds:
+        raise ValueError("no dependence vectors")
+    n = len(ds[0])
+    pool = direction_pool(ds, include_combinations, max_directions)
+
+    def weight(rows: Tuple[Tuple[int, ...], ...]) -> int:
+        return sum(abs(x) for row in rows for x in row)
+
+    bases: List[Tuple[int, int, Tuple[Tuple[int, ...], ...], RatMat]] = []
+    for rows in permutations(pool, n):
+        r = RatMat([[Fraction(x) for x in row] for row in rows])
+        det = r.det()
+        if det == 0:
+            continue
+        bases.append((abs(int(det)), weight(rows), rows, r.inverse()))
+    if not bases:
+        raise ValueError(
+            f"the tiling cone of {ds} is degenerate: its direction "
+            f"pool {pool} contains no {n} linearly independent "
+            "directions, so no parallelepiped basis exists")
+    # Small |det R| first (unimodular V H => unit TTIS strides), then
+    # light rows before heavy skews, then lexicographic for determinism.
+    bases.sort(key=lambda b: (b[0], b[1], b[2]))
+    bases = bases[:max(1, int(max_bases))]
+
+    # Per-base scale sweeps, merged round-robin so the candidate cap
+    # keeps shape diversity instead of the first base's whole grid.
+    per_base: List[List[Tuple[Tuple[Tuple[int, ...], ...],
+                              Tuple[int, ...]]]] = []
+    for _det, _w, rows, r_inv in bases:
+        base_scales = _min_scales(r_inv)
+        tvecs = list(_scale_vectors(base_scales, extents,
+                                    max_volume_scale))
+        # Balanced extents first, larger volumes before smaller: small
+        # tiles are the likeliest rejections (a transformed dependence
+        # must fit inside one tile) and over-partitioned ones the
+        # likeliest processor-cap hits, so under a candidate cap this
+        # order keeps each base's viable region.
+        tvecs.sort(key=lambda t: (max(t) - min(t),
+                                  -_prod(t), t))
+        sweeps = [
+            (rows, tuple(b * t for b, t in zip(base_scales, tvec)))
+            for tvec in tvecs
+        ]
+        per_base.append(sweeps)
+
+    out: List[ShapeCandidate] = []
+    seen: Set[DedupKey] = set()
+    generated = 0
+    deduplicated = 0
+    truncated = 0
+    depth = max((len(s) for s in per_base), default=0)
+    for i in range(depth):
+        for sweeps in per_base:
+            if i >= len(sweeps):
+                continue
+            rows, scales = sweeps[i]
+            generated += 1
+            h = RatMat([
+                tuple(Fraction(x, s) for x in row)
+                for row, s in zip(rows, scales)
+            ])
+            key = hnf_key(h)
+            if key in seen:
+                deduplicated += 1
+                continue
+            seen.add(key)
+            if len(out) >= max(1, int(max_candidates)):
+                truncated += 1
+                continue
+            if not is_legal_tiling(h, ds):   # defensive: rows are in-cone
+                continue
+            out.append(ShapeCandidate(h=h, rays=rows, scales=scales,
+                                      key=key, order=len(out)))
+    return CandidateSpace(candidates=tuple(out), rays=tuple(pool),
+                          generated=generated, deduplicated=deduplicated,
+                          truncated=truncated)

@@ -1,0 +1,189 @@
+"""The tuning report's JSON schema and an in-repo validator.
+
+The report is the tuner's public contract: CI's tune-smoke job and the
+record store both validate against :data:`REPORT_SCHEMA` before
+trusting a document.  The validator is a small, dependency-free subset
+of JSON Schema (``type`` — including type lists for nullables —
+``required``, ``properties``, ``items``, ``enum``, ``minimum``), which
+is all the report needs; the schema dict itself is draft-compatible,
+so an environment that *does* have ``jsonschema`` can check with the
+real thing.
+
+Run standalone::
+
+    python -m repro.tuning.schema report.json
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+#: What every candidate trace row looks like.
+_TRACE_ROW = {
+    "type": "object",
+    "required": ["order", "label", "status", "predicted_makespan",
+                 "simulated_makespan", "measured_seconds",
+                 "bound_ratio", "processors", "tile_volume",
+                 "chain_extent", "reason"],
+    "properties": {
+        "order": {"type": "integer", "minimum": 0},
+        "label": {"type": "string"},
+        "status": {"type": "string"},
+        "predicted_makespan": {"type": ["number", "null"], "minimum": 0},
+        "simulated_makespan": {"type": ["number", "null"], "minimum": 0},
+        "measured_seconds": {"type": ["number", "null"], "minimum": 0},
+        "bound_ratio": {"type": ["number", "null"], "minimum": 0},
+        "processors": {"type": ["integer", "null"], "minimum": 1},
+        "tile_volume": {"type": ["integer", "null"], "minimum": 1},
+        "chain_extent": {"type": ["integer", "null"], "minimum": 1},
+        "reason": {"type": ["string", "null"]},
+    },
+}
+
+#: A rational matrix as nested [numerator, denominator] pairs.
+_H_MATRIX = {
+    "type": "array",
+    "items": {
+        "type": "array",
+        "items": {
+            "type": "array",
+            "items": {"type": "integer"},
+        },
+    },
+}
+
+REPORT_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["kind", "format_version", "key", "nest", "cluster",
+                 "config", "rays", "counts", "early_stop", "baseline",
+                 "winner", "trace"],
+    "properties": {
+        "kind": {"type": "string", "enum": ["repro-tune-report"]},
+        "format_version": {"type": "integer", "minimum": 1},
+        "key": {"type": ["string", "null"]},
+        "nest": {
+            "type": "object",
+            "required": ["name", "mapping_dim"],
+            "properties": {
+                "name": {"type": "string"},
+                "mapping_dim": {"type": "integer", "minimum": 0},
+            },
+        },
+        "cluster": {"type": "object"},
+        "config": {
+            "type": "object",
+            "required": ["extents", "max_candidates", "top_k",
+                         "stop_ratio", "protocol", "measure_top"],
+        },
+        "rays": {"type": "array",
+                 "items": {"type": "array",
+                           "items": {"type": "integer"}}},
+        "counts": {
+            "type": "object",
+            "required": ["generated", "deduplicated", "truncated",
+                         "candidates", "costed", "rejected",
+                         "pruned_after_stop", "simulated", "measured",
+                         "simulator_evals"],
+        },
+        "early_stop": {
+            "type": "object",
+            "required": ["fired", "reason", "stop_ratio"],
+            "properties": {
+                "fired": {"type": "boolean"},
+                "reason": {"type": ["string", "null"]},
+                "stop_ratio": {"type": "number", "minimum": 0},
+            },
+        },
+        "baseline": {"type": ["object", "null"]},
+        "winner": {
+            "type": "object",
+            "required": ["label", "status", "h", "rays", "scales",
+                         "predicted_makespan", "simulated_makespan",
+                         "speedup"],
+            "properties": {
+                "status": {"type": "string", "enum": ["winner"]},
+                "h": _H_MATRIX,
+                "simulated_makespan": {"type": "number", "minimum": 0},
+            },
+        },
+        "trace": {"type": "array", "items": _TRACE_ROW},
+    },
+}
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value: Any, name: str) -> bool:
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if name == "number":
+        return (isinstance(value, (int, float))
+                and not isinstance(value, bool))
+    return isinstance(value, _TYPES[name])
+
+
+def _check(value: Any, schema: Dict[str, Any], path: str,
+           errors: List[str]) -> None:
+    stype = schema.get("type")
+    if stype is not None:
+        names = stype if isinstance(stype, list) else [stype]
+        if not any(_type_ok(value, n) for n in names):
+            errors.append(
+                f"{path}: expected {' or '.join(names)}, "
+                f"got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if ("minimum" in schema and isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and value < schema["minimum"]):
+        errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for req in schema.get("required", ()):
+            if req not in value:
+                errors.append(f"{path}: missing required key {req!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                _check(value[key], sub, f"{path}.{key}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            _check(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def validate_report(report: Any) -> None:
+    """Raise ``ValueError`` listing every schema violation (or pass)."""
+    errors: List[str] = []
+    _check(report, REPORT_SCHEMA, "$", errors)
+    if errors:
+        raise ValueError("tune report fails schema validation:\n  "
+                         + "\n  ".join(errors))
+
+
+def main(argv: List[str]) -> int:
+    import json
+    import sys
+    if len(argv) != 1:
+        print("usage: python -m repro.tuning.schema report.json",
+              file=sys.stderr)
+        return 2
+    with open(argv[0], "rb") as f:
+        report = json.loads(f.read().decode("utf-8"))
+    try:
+        validate_report(report)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    print(f"{argv[0]}: valid repro-tune-report "
+          f"(format {report['format_version']})")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main(sys.argv[1:]))

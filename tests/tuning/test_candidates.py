@@ -1,0 +1,114 @@
+"""Candidate generation: legality by construction, exact dedup.
+
+The tuner's soundness rests on two properties pinned here:
+
+* every generated ``H`` row lies inside the tiling cone of the
+  dependence set (so ``H D >= 0`` — the candidate is a *legal* tiling)
+  — checked as a hypothesis property over random uniform dependence
+  sets, not just the paper's three;
+* the dedup key collapses exactly the respellings of one rational
+  ``H`` and nothing more — in particular it must NOT merge the paper's
+  rectangular and cone-skewed SOR tilings, which share a tile-origin
+  lattice but tile differently.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.apps import sor
+from repro.linalg.ratmat import RatMat
+from repro.tiling.cone import in_tiling_cone
+from repro.tiling.legality import is_legal_tiling
+from repro.tuning import generate_candidates, hnf_key
+
+SOR_DEPS = sor.DECLARED_SKEWED_DEPS
+
+
+@st.composite
+def uniform_dependence_sets(draw):
+    """2-4 random nonnegative-leading dependence vectors in 2D/3D.
+
+    First components are kept strictly positive (a uniform dependence
+    set of a fully permutable band, as after skewing) so the tiling
+    cone is full-dimensional and candidate generation meaningful.
+    """
+    n = draw(st.integers(2, 3))
+    count = draw(st.integers(2, 4))
+    deps = []
+    for _ in range(count):
+        vec = [draw(st.integers(1, 3))]
+        vec.extend(draw(st.integers(0, 3)) for _ in range(n - 1))
+        deps.append(tuple(vec))
+    return tuple(dict.fromkeys(deps))
+
+
+@given(uniform_dependence_sets())
+@settings(max_examples=40, deadline=None)
+def test_candidates_stay_inside_the_cone(deps):
+    try:
+        space = generate_candidates(deps, max_candidates=24)
+    except ValueError:
+        # Degenerate cone (fewer extreme rays than dimensions): no
+        # basis exists; rejection is the correct outcome.
+        assume(False)
+    assert space.candidates, "nonempty cone must yield candidates"
+    for cand in space.candidates:
+        for ray in cand.rays:
+            assert in_tiling_cone(ray, deps), (ray, deps)
+        # Rows in the cone imply H D >= 0 — legality by construction.
+        assert is_legal_tiling(cand.h, deps), (cand.label, deps)
+
+
+def test_every_sor_candidate_is_legal():
+    space = generate_candidates(SOR_DEPS)
+    assert len(space.candidates) >= 16
+    for cand in space.candidates:
+        assert is_legal_tiling(cand.h, SOR_DEPS), cand.label
+
+
+def test_dedup_collapses_respellings():
+    h = RatMat([[Fraction(1, 2), 0], [Fraction(1, 2), Fraction(1, 2)]])
+    # The same rational H spelled with unreduced fractions.
+    respelled = RatMat([[Fraction(2, 4), 0],
+                        [Fraction(3, 6), Fraction(4, 8)]])
+    assert hnf_key(h) == hnf_key(respelled)
+
+
+def test_dedup_keeps_rect_and_skewed_sor_distinct():
+    """The paper's §4.1 pair: same tile-origin lattice, same volume,
+    different tile shapes, different communication.  A key based on
+    the column HNF of ``V @ H`` (invariant under column operations)
+    would merge them and erase the experiment; the canonical-form key
+    must not."""
+    h_rect = sor.h_rectangular(2, 3, 4)
+    h_skew = sor.h_nonrectangular(2, 3, 4)
+    assert hnf_key(h_rect) != hnf_key(h_skew)
+
+
+def test_dedup_is_exactly_h_equality():
+    x = RatMat([[Fraction(1, 2), 0], [0, Fraction(1, 3)]])
+    y = RatMat([[Fraction(1, 2), 0], [0, Fraction(1, 4)]])
+    assert hnf_key(x) != hnf_key(y)
+    assert hnf_key(x) == hnf_key(RatMat([[Fraction(1, 2), 0],
+                                         [0, Fraction(1, 3)]]))
+
+
+def test_generation_is_deterministic():
+    a = generate_candidates(SOR_DEPS)
+    b = generate_candidates(SOR_DEPS)
+    assert [c.label for c in a.candidates] == [c.label for c in b.candidates]
+    assert [c.h for c in a.candidates] == [c.h for c in b.candidates]
+
+
+def test_candidate_cap_is_respected():
+    space = generate_candidates(SOR_DEPS, max_candidates=7)
+    assert len(space.candidates) <= 7
+    assert space.truncated > 0      # the cap actually bit
+
+
+def test_degenerate_dependences_rejected():
+    with pytest.raises(ValueError):
+        generate_candidates(())
