@@ -50,6 +50,11 @@ Diagnostic codes are part of the public contract:
            not equal the ``TiledProgram`` value
 ``TV04``   declared dependence matrix inconsistent with the
            dependences derived from the statement bodies
+``TV05``   native kernel translation unit diverges from the
+           symbolic statements — an independently parsed
+           ``F_<array>`` expression tree, constant bit pattern,
+           read-slot wiring or write target does not match the
+           ``KExpr``/dependence structure the ``.so`` must encode
 ``OV01``   overlap pack schedule does not reproduce the blocking
            payload bytes (positions/points vs lex-ordered region)
 ``OV02``   overlap commit level wrong — a send would publish

@@ -14,6 +14,8 @@ model and statically proves it consistent with the
   :mod:`~repro.analysis.transval.pyreader` — readers for the C and
   Python artifacts;
 * :mod:`~repro.analysis.transval.passes` — the TV01-TV04 checks;
+* :mod:`~repro.analysis.transval.kernels` — TV05, the native
+  kernel translation unit against the symbolic ``KExpr`` trees;
 * :mod:`~repro.analysis.transval.validate` — orchestration
   (:func:`transval_report`, the ``--transval`` CLI mode, and the
   ``generate_mpi_code(..., validate=True)`` guard).
@@ -21,6 +23,10 @@ model and statically proves it consistent with the
 
 from __future__ import annotations
 
+from repro.analysis.transval.kernels import (
+    PASS_KERNELS,
+    check_native_tu,
+)
 from repro.analysis.transval.passes import (
     PASS_CONSTANTS,
     PASS_DEPENDENCES,
@@ -40,7 +46,9 @@ from repro.analysis.transval.validate import (
 
 __all__ = [
     "PASS_LOOPS", "PASS_SUBSCRIPTS", "PASS_CONSTANTS", "PASS_DEPENDENCES",
+    "PASS_KERNELS",
     "TRANSVAL_PASSES", "check_mpi_text", "check_sequential_text",
     "check_pyseq_source", "check_pygen_source", "check_declared_dependences",
+    "check_native_tu",
     "transval_report", "validate_mpi_text",
 ]

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, List, Optional
 
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+from repro.analysis.transval.kernels import PASS_KERNELS, check_native_tu
 from repro.analysis.transval.passes import (
     PASS_CONSTANTS,
     PASS_DEPENDENCES,
@@ -36,8 +37,9 @@ def transval_report(nest: LoopNest, h: Any,
     """Translation-validate freshly emitted code for ``(nest, h)``.
 
     Emits the C+MPI node program, the sequential tiled C text, the
-    runnable Python twin and the pygen schedule module, then runs the
-    TV01-TV04 passes.  When the tiling itself is illegal (LEG01/LEG02)
+    runnable Python twin, the pygen schedule module and the native
+    kernel translation unit, then runs the TV01-TV05 passes.  When the
+    tiling itself is illegal (LEG01/LEG02)
     the legality findings are reported and emission is skipped — there
     is no meaningful program to validate.
     """
@@ -73,7 +75,9 @@ def transval_report(nest: LoopNest, h: Any,
     report.extend(check_pygen_source(
         program, generate_python_node_programs(
             nest, h, mapping_dim=mapping_dim)))
-    for name in (PASS_LOOPS, PASS_SUBSCRIPTS, PASS_CONSTANTS):
+    report.extend(check_native_tu(nest, tuple(program.arrays)))
+    for name in (PASS_LOOPS, PASS_SUBSCRIPTS, PASS_CONSTANTS,
+                 PASS_KERNELS):
         report.mark_pass(name)
     return report
 

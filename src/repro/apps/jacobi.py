@@ -28,6 +28,7 @@ from repro.loops.dependence import validate_dependences
 from repro.loops.nest import LoopNest, Statement
 from repro.loops.reference import ArrayRef
 from repro.loops.skewing import skew_nest
+from repro.native import kexpr
 from repro.tiling.shapes import parallelepiped_tiling, rectangular_tiling
 
 SKEW = RatMat([[1, 0, 0], [1, 1, 0], [1, 0, 1]])
@@ -61,6 +62,13 @@ def _kernel_np(_pts, vals):
     return COEF * (vals[0] + vals[1] + vals[2] + vals[3] + vals[4])
 
 
+def _expr():
+    # Symbolic twin of ``_kernel`` for the native backend (identical
+    # operation order).
+    v = kexpr.reads(5)
+    return COEF * ((((v[0] + v[1]) + v[2]) + v[3]) + v[4])
+
+
 def original_nest(t_steps: int, i_size: int, j_size: int) -> LoopNest:
     a = "A"
     stmt = Statement.of(
@@ -74,6 +82,7 @@ def original_nest(t_steps: int, i_size: int, j_size: int) -> LoopNest:
         ],
         _kernel,
         _kernel_np,
+        expr=_expr(),
     )
     validate_dependences(DECLARED_DEPS)
     return LoopNest.rectangular(

@@ -29,6 +29,7 @@ from repro.loops.dependence import validate_dependences
 from repro.loops.nest import LoopNest, Statement
 from repro.loops.reference import ArrayRef
 from repro.loops.skewing import skew_nest
+from repro.native import kexpr
 from repro.tiling.shapes import parallelepiped_tiling, rectangular_tiling
 
 #: The paper's skewing matrix (from Xue [15]).
@@ -73,6 +74,15 @@ def _kernel_np(_pts, vals):
         + (1.0 - OMEGA) * vals[4]
 
 
+def _expr():
+    # Symbolic twin of ``_kernel`` for the native backend: identical
+    # operation order; ``OMEGA / 4.0`` and ``1.0 - OMEGA`` fold here in
+    # Python, exactly as they evaluate inside the kernels.
+    v = kexpr.reads(5)
+    return ((OMEGA / 4.0) * (((v[0] + v[1]) + v[2]) + v[3])
+            + (1.0 - OMEGA) * v[4])
+
+
 def original_nest(m: int, n: int) -> LoopNest:
     """The unskewed SOR nest over ``[1,M] x [1,N]^2``."""
     a = "A"
@@ -87,6 +97,7 @@ def original_nest(m: int, n: int) -> LoopNest:
         ],
         _kernel,
         _kernel_np,
+        expr=_expr(),
     )
     validate_dependences(DECLARED_DEPS)
     return LoopNest.rectangular(

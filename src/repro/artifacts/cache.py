@@ -33,9 +33,23 @@ from repro.runtime.executor import TiledProgram
 #: File extension for stored artifacts ("tiled program artifact").
 ARTIFACT_SUFFIX = ".tpa"
 
+#: File extension for cached native shared objects (see repro.native).
+NATIVE_SUFFIX = ".so"
+
 
 class ArtifactCache:
-    """A directory of content-addressed :class:`TiledProgram` artifacts."""
+    """A directory of content-addressed :class:`TiledProgram` artifacts.
+
+    The same directory also holds the native backend's compiled shared
+    objects (``<key>.so`` plus the emitted ``<key>.c`` for
+    debuggability).  Their keys are *not* plain content keys: the
+    native build folds the emitted kernel-source hash and the compiler
+    fingerprint into the digest (``repro.native.engine.native_key``),
+    because kernel arithmetic is deliberately outside
+    :func:`~repro.artifacts.hashing.content_key` — an edited kernel or
+    upgraded compiler therefore misses and rebuilds instead of loading
+    a stale object.
+    """
 
     def __init__(self, root: str):
         self.root = os.path.abspath(root)
@@ -45,6 +59,9 @@ class ArtifactCache:
         self.stores = 0
         #: artifacts rejected as corrupt/stale and recompiled
         self.invalid = 0
+        self.native_hits = 0
+        self.native_misses = 0
+        self.native_stores = 0
 
     def path_for(self, key: str) -> str:
         return os.path.join(self.root, key + ARTIFACT_SUFFIX)
@@ -55,7 +72,39 @@ class ArtifactCache:
             "misses": self.misses,
             "stores": self.stores,
             "invalid": self.invalid,
+            "native_hits": self.native_hits,
+            "native_misses": self.native_misses,
+            "native_stores": self.native_stores,
         }
+
+    # -- native shared objects ------------------------------------------------
+
+    def native_path(self, key: str) -> str:
+        return os.path.join(self.root, key + NATIVE_SUFFIX)
+
+    def native_lookup(self, key: str) -> Optional[str]:
+        """Path of a cached ``.so`` for ``key``, or ``None``.
+
+        A hit means the compiler never runs for this program again
+        (warm path); hit/miss counts are tracked separately from the
+        program-artifact counters.
+        """
+        path = self.native_path(key)
+        if os.path.exists(path):
+            self.native_hits += 1
+            return path
+        self.native_misses += 1
+        return None
+
+    def native_store_source(self, key: str, source: str) -> str:
+        """Atomically drop the emitted ``.c`` next to the ``.so``."""
+        path = os.path.join(self.root, key + ".c")
+        tmp = path + ".tmp"
+        with open(tmp, "w") as fh:
+            fh.write(source)
+        os.replace(tmp, path)
+        self.native_stores += 1
+        return path
 
     # -- primitive operations -------------------------------------------------
 

@@ -47,6 +47,7 @@ import numpy as np
 from repro.artifacts.hashing import FORMAT_VERSION, content_key
 from repro.linalg.ratmat import RatMat
 from repro.loops.nest import LoopNest
+from repro.native.kexpr import kernel_fingerprint
 from repro.runtime.executor import TiledProgram
 from repro.tiling.transform import TilingTransformation
 
@@ -155,6 +156,13 @@ def snapshot_program(prog: TiledProgram,
             "mapping_dim": prog.dist.m,
             "num_processors": prog.num_processors,
             "num_tiles": len(tiles),
+            # Kernel content is deliberately outside the content key
+            # (geometry never depends on it), so it is pinned here
+            # instead: load-time drift in this fingerprint rejects the
+            # artifact, and the native backend folds it into its own
+            # ``.so`` key — an edited app kernel can never be served a
+            # stale snapshot or shared object.
+            "kernel_fingerprint": kernel_fingerprint(prog.nest),
         },
         # Cheap re-derivable invariants, compared at load time.
         "check": {
@@ -214,6 +222,14 @@ def restore_program(nest: LoopNest, h: RatMat,
     geo = payload["geometry"]
     check = payload["check"]
     meta = payload["meta"]
+
+    stored_kh = meta.get("kernel_fingerprint")
+    live_kh = kernel_fingerprint(nest)
+    if stored_kh != live_kh:
+        raise ArtifactError(
+            f"artifact kernel drift: stored kernel fingerprint "
+            f"{stored_kh!r} != this nest's {live_kh!r} (geometry-equal "
+            f"nest with edited kernels); refusing to load")
 
     tiling = TilingTransformation(h, nest.domain)
     ttis = tiling.ttis

@@ -9,10 +9,17 @@ exactly these inputs, so equal keys imply bitwise-equal programs.
 
 Deliberately *not* hashed:
 
-* statement ``kernel``/``kernel_np`` callables — the compiled geometry
-  (tiles, communication sets, LDS layout, schedules) never depends on
-  the arithmetic inside the loop body, and loaded programs always take
-  their kernels from the caller's nest;
+* statement ``kernel``/``kernel_np``/``expr`` bodies — the compiled
+  geometry (tiles, communication sets, LDS layout, schedules) never
+  depends on the arithmetic inside the loop body, and loaded programs
+  always take their kernels from the caller's nest.  Anything that
+  *does* depend on kernel content must carry its own hash on top of
+  the content key: artifact payloads record a
+  ``kernel_fingerprint`` in their metadata (checked at load, so a
+  geometry-identical nest with edited kernels can never be served a
+  stale snapshot), and the native backend keys its shared objects by
+  (content key, emitted C source hash, compiler fingerprint) — see
+  ``repro.native``;
 * the nest's display ``name`` — two differently-named but structurally
   identical nests compile to the same program.
 
@@ -35,7 +42,8 @@ from repro.loops.reference import ArrayRef
 #: Version of the on-disk artifact format.  Bump on ANY change to the
 #: payload schema or to the semantics of a stored field; old artifacts
 #: are then treated as misses and transparently recompiled.
-FORMAT_VERSION = 1
+#: v2: payload meta gained the mandatory ``kernel_fingerprint`` field.
+FORMAT_VERSION = 2
 
 
 def _frac(x: Fraction) -> List[int]:

@@ -119,6 +119,18 @@ def cmd_codegen(args) -> int:
 
     app = _build_app(args.app, args.sizes)
     h = _build_h(args.app, args.shape, args.tile)
+    if args.engine == "native":
+        # The native backend's generated artifact is the C translation
+        # unit of the per-app tile kernels (what gets compiled to the
+        # cached .so) — print it regardless of --kind.
+        from repro.native.emit import emit_translation_unit
+        from repro.runtime.executor import TiledProgram
+
+        prog = TiledProgram(app.nest, h, mapping_dim=app.mapping_dim)
+        plan = emit_translation_unit(prog.nest, tuple(prog.arrays),
+                                     prog.nest.name)
+        print(plan.source, end="")
+        return 0
     if args.kind == "sequential":
         print(generate_sequential_tiled_code(app.nest, h))
     elif args.kind == "mpi":
@@ -208,7 +220,26 @@ def cmd_run(args) -> int:
         raise SystemExit("--trace-out requires --engine parallel")
     if args.certify and args.engine != "parallel":
         raise SystemExit("--certify requires --engine parallel")
+    if args.native and args.engine not in ("parallel", "native"):
+        raise SystemExit("--native requires --engine parallel "
+                         "(or use --engine native)")
     prog = TiledProgram(app.nest, h, mapping_dim=app.mapping_dim)
+    lib = None
+    if args.engine == "native" or args.native:
+        from repro.artifacts import ArtifactCache
+        from repro.native.engine import build_native_library
+
+        cache = (ArtifactCache(args.cache_dir)
+                 if args.cache_dir else None)
+        lib = build_native_library(prog, cache=cache)
+        if lib.available:
+            print(f"native  : {lib.status} "
+                  + ("(cached .so, compiler skipped)"
+                     if lib.status == "hit" else "(compiled)"))
+            print(f"so      : {lib.so_path}")
+        else:
+            print(f"native  : fallback ({lib.fallback_reason}); "
+                  f"running numpy kernels")
     trace = EventTrace() if args.trace_out else None
     run = DistributedRun(prog, ClusterSpec(overlap=args.overlap),
                          trace=trace)
@@ -218,17 +249,19 @@ def cmd_run(args) -> int:
         fields, stats = run.execute_parallel(
             app.init_value, workers=args.workers,
             protocol=args.protocol, overlap=args.overlap,
-            verify=args.certify)
+            verify=args.certify, native=lib)
         arrays = dense_to_cells(fields)
-    elif args.engine == "dense":
-        fields, stats = run.execute_dense(app.init_value)
+    elif args.engine in ("dense", "native"):
+        fields, stats = run.execute_dense(app.init_value, native=lib)
         arrays = dense_to_cells(fields)
     else:
         arrays, stats = run.execute(app.init_value)
     wall = _time.perf_counter() - t0
     print(f"engine: {args.engine}"
           + (f" (workers={args.workers}, protocol={args.protocol}"
-             + (", overlap" if args.overlap else "") + ")"
+             + (", overlap" if args.overlap else "")
+             + (", native" if lib is not None and lib.available
+                else "") + ")"
              if args.engine == "parallel" else ""))
     print(f"wall-clock: {wall:.3f}s  processors: {prog.num_processors}")
     print(f"messages = {stats.total_messages}, elements = "
@@ -483,12 +516,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_cg.add_argument("--kind", choices=["sequential", "mpi", "python"],
                       default="mpi")
     p_cg.add_argument("--engine",
-                      choices=["sparse", "dense", "dense-overlap"],
+                      choices=["sparse", "dense", "dense-overlap",
+                               "native"],
                       default="sparse",
                       help="for --kind python: also burn the dense "
                            "engine's wavefront slices into the "
                            "emitted schedule (dense-overlap adds the "
-                           "per-level boundary slice sizes)")
+                           "per-level boundary slice sizes); native "
+                           "prints the C tile-kernel translation unit "
+                           "the native backend compiles to a shared "
+                           "object")
     p_cg.set_defaults(fn=cmd_codegen)
 
     p_sim = sub.add_parser("simulate", help="run on the virtual cluster")
@@ -515,11 +552,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "print measured utilization")
     _common_flags(p_run)
     p_run.add_argument("--engine",
-                       choices=["parallel", "dense", "sparse"],
+                       choices=["parallel", "dense", "sparse",
+                                "native"],
                        default="parallel",
                        help="parallel = real OS processes + "
                             "shared-memory halo exchange; dense/sparse "
-                            "= single-process executors")
+                            "= single-process executors; native = the "
+                            "dense engine with compiled shared-object "
+                            "tile kernels (numpy fallback without a C "
+                            "compiler)")
     p_run.add_argument("--workers", type=int, default=None,
                        help="max worker processes for --engine "
                             "parallel (default: one per processor, "
@@ -536,6 +577,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "zero-copy packing into the mailbox ring "
                             "and lazy halo unpacking (bitwise "
                             "identical results)")
+    p_run.add_argument("--native", action="store_true",
+                       help="with --engine parallel: workers run the "
+                            "compiled shared-object tile kernels over "
+                            "the same LDS buffers and rings (bitwise "
+                            "identical; numpy fallback without a C "
+                            "compiler)")
+    p_run.add_argument("--cache-dir", default=None,
+                       help="content-addressed cache directory for the "
+                            "native .so (default: $REPRO_CACHE_DIR or "
+                            "a per-user temp dir)")
     p_run.add_argument("--no-check", "--no-crosscheck",
                        dest="no_check", action="store_true",
                        help="skip the bitwise cross-check against the "
@@ -566,8 +617,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "(unskewed) nest instead of the skewed one")
     p_ana.add_argument("--transval", action="store_true",
                        help="also translation-validate freshly emitted "
-                            "C+MPI/Python code against the symbolic "
-                            "pipeline (TV01-TV04 passes)")
+                            "C+MPI/Python code and the native kernel "
+                            "translation unit against the symbolic "
+                            "pipeline (TV01-TV05 passes)")
     p_ana.add_argument("--overlap", action="store_true",
                        help="also verify the overlapped-execution "
                             "plans (OV01-OV03: pack payload equality, "

@@ -12,10 +12,13 @@ two arrays.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
 
 from repro.loops.reference import ArrayRef
 from repro.polyhedra.halfspace import Polyhedron, box
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.native.kexpr import KExpr
 
 
 @dataclass(frozen=True)
@@ -32,18 +35,28 @@ class Statement:
     a per-point loop over ``kernel``; for bitwise-identical results the
     two must perform the same floating-point operations in the same
     order.
+
+    ``expr`` is an optional symbolic twin (``repro.native.kexpr.KExpr``)
+    of the same computation over read slots; the native backend renders
+    it to C and the TV05 pass checks the rendering.  When present it
+    must perform the identical operations in the identical order as
+    ``kernel_np`` — the bitwise native-vs-dense suites enforce this.
+    Statements without an ``expr`` simply never compile natively (the
+    engines fall back to numpy).
     """
 
     write: ArrayRef
     reads: Tuple[ArrayRef, ...]
     kernel: Optional[Callable] = None
     kernel_np: Optional[Callable] = None
+    expr: Optional["KExpr"] = None
 
     @staticmethod
     def of(write: ArrayRef, reads: Sequence[ArrayRef],
            kernel: Optional[Callable] = None,
-           kernel_np: Optional[Callable] = None) -> "Statement":
-        return Statement(write, tuple(reads), kernel, kernel_np)
+           kernel_np: Optional[Callable] = None,
+           expr: Optional["KExpr"] = None) -> "Statement":
+        return Statement(write, tuple(reads), kernel, kernel_np, expr)
 
     @property
     def dim(self) -> int:

@@ -69,6 +69,7 @@ def skew_nest(nest: LoopNest, t: RatMat) -> LoopNest:
             reads=tuple(rewrite(r) for r in s.reads),
             kernel=s.kernel,
             kernel_np=s.kernel_np,
+            expr=s.expr,
         )
         for s in nest.statements
     )

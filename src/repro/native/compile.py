@@ -1,0 +1,106 @@
+"""C compiler discovery, fingerprinting and the ``cc`` wrapper.
+
+The backend must never make a run *fail* for lack of a toolchain: every
+entry point here reports absence or breakage through return values /
+:class:`NativeCompileError`, and the engine maps those to the numpy
+fallback.  Flags are chosen for bitwise reproducibility first and speed
+second:
+
+* ``-ffp-contract=off`` — no fused multiply-add: the emitted kernels
+  must perform exactly the multiplies and adds numpy performs;
+* ``-fno-fast-math`` (explicit even though it is the default) — no
+  reassociation, no reciprocal tricks;
+* ``-O2 -fPIC -shared`` — the usual shared-object build.
+
+The compiler fingerprint (path + first ``--version`` line, hashed) is
+part of the ``.so`` cache key, so upgrading the system compiler — which
+may legitimately change generated code — invalidates cached objects
+instead of silently serving stale ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import List, Optional
+
+#: Candidate driver names probed on PATH, in order, when $CC is unset.
+COMPILER_CANDIDATES = ("cc", "gcc", "clang")
+
+#: Reproducibility-first flag set (see module docstring).
+COMPILE_FLAGS = ("-O2", "-fPIC", "-shared", "-ffp-contract=off",
+                 "-fno-fast-math")
+
+
+class NativeCompileError(RuntimeError):
+    """Compiler present but the build failed; carries the diagnostics."""
+
+
+def find_compiler() -> Optional[str]:
+    """Absolute path of the C compiler to use, or ``None``.
+
+    ``$CC`` wins when set (even if bogus — pointing ``CC`` at
+    ``/bin/false`` is the supported way to force-test the fallback);
+    otherwise the first of ``cc``/``gcc``/``clang`` found on PATH.
+    """
+    env = os.environ.get("CC", "").strip()
+    if env:
+        parts = env.split()
+        path = shutil.which(parts[0])
+        return path if path is not None else None
+    for cand in COMPILER_CANDIDATES:
+        path = shutil.which(cand)
+        if path is not None:
+            return path
+    return None
+
+
+def compiler_fingerprint(cc: str) -> str:
+    """Stable identity of one compiler install: path + version line."""
+    try:
+        out = subprocess.run(
+            [cc, "--version"], capture_output=True, text=True,
+            timeout=30, check=False)
+        first = (out.stdout or out.stderr).splitlines()
+        version = first[0].strip() if first else f"rc={out.returncode}"
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        version = f"unqueryable:{type(exc).__name__}"
+    digest = hashlib.sha256(
+        f"{cc}\n{version}".encode()).hexdigest()[:16]
+    return f"{digest}"
+
+
+def compile_shared_object(cc: str, source: str, out_path: str,
+                          extra_flags: Optional[List[str]] = None,
+                          ) -> None:
+    """Compile ``source`` to ``out_path`` atomically.
+
+    The ``.c`` file and a temporary ``.so`` live in a scratch
+    directory; only a successful build is ``os.replace``d into place,
+    so a concurrent builder of the same key at worst does the work
+    twice and the winner's object is always complete.
+    """
+    out_dir = os.path.dirname(os.path.abspath(out_path)) or "."
+    os.makedirs(out_dir, exist_ok=True)
+    with tempfile.TemporaryDirectory(dir=out_dir,
+                                     prefix=".nativebuild-") as tmp:
+        c_path = os.path.join(tmp, "kernels.c")
+        so_tmp = os.path.join(tmp, "kernels.so")
+        with open(c_path, "w") as fh:
+            fh.write(source)
+        cmd = [cc, *COMPILE_FLAGS, *(extra_flags or []),
+               c_path, "-o", so_tmp]
+        try:
+            proc = subprocess.run(cmd, capture_output=True, text=True,
+                                  timeout=300, check=False)
+        except (OSError, subprocess.TimeoutExpired) as exc:
+            raise NativeCompileError(
+                f"{cc} failed to run: {exc}") from exc
+        if proc.returncode != 0 or not os.path.exists(so_tmp):
+            detail = (proc.stderr or proc.stdout or "").strip()
+            raise NativeCompileError(
+                f"{cc} exited {proc.returncode}: {detail[:2000]}")
+        os.replace(so_tmp, out_path)

@@ -1,0 +1,235 @@
+"""Kernel expression IR: the statically-compilable subset of kernels.
+
+``Statement.kernel_np`` is an opaque Python callable, which is fine for
+the numpy engines but useless for native code generation — there is
+nothing to render to C.  This module defines a tiny arithmetic IR
+(:class:`KExpr`) over read slots and float constants.  Apps attach one
+per statement (``Statement.expr``); the same tree then serves three
+masters that must agree bitwise:
+
+* :func:`eval_np` evaluates the tree over numpy read batches in the
+  exact left-to-right operation order the ``kernel_np`` twins use, so a
+  statement whose ``expr`` disagrees with its ``kernel_np`` is caught by
+  the tol=0.0 suites immediately;
+* :meth:`KExpr.to_c` renders the tree as a fully parenthesized C
+  expression whose every constant is a C99 hex-float literal
+  (``float.hex()``), so the C compiler performs the identical IEEE-754
+  double operations in the identical order (the build uses
+  ``-ffp-contract=off``, see ``repro.native.compile``);
+* the transval TV05 pass re-parses the rendered C back into a tree and
+  proves it structurally equal to the symbolic one.
+
+Only ``+ - * /`` and unary negation are provided: every kernel in the
+paper's benchmarks (§4) is an affine combination of its reads, and
+keeping the IR closed under exactly the operators whose evaluation
+order C and numpy agree on is what makes the bitwise claim provable
+rather than hopeful.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Tuple, Union
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.loops.nest import LoopNest
+
+Operand = Union["KExpr", float, int]
+
+
+def _wrap(x: Operand) -> "KExpr":
+    if isinstance(x, KExpr):
+        return x
+    if isinstance(x, (float, int)):
+        return KConst(float(x))
+    raise TypeError(f"cannot use {type(x).__name__} in a kernel expr")
+
+
+@dataclass(frozen=True)
+class KExpr:
+    """Base node.  Subclasses are frozen dataclasses, so trees hash and
+    compare structurally for free (TV05 leans on that)."""
+
+    def __add__(self, other: Operand) -> "KExpr":
+        return KAdd(self, _wrap(other))
+
+    def __radd__(self, other: Operand) -> "KExpr":
+        return KAdd(_wrap(other), self)
+
+    def __sub__(self, other: Operand) -> "KExpr":
+        return KSub(self, _wrap(other))
+
+    def __rsub__(self, other: Operand) -> "KExpr":
+        return KSub(_wrap(other), self)
+
+    def __mul__(self, other: Operand) -> "KExpr":
+        return KMul(self, _wrap(other))
+
+    def __rmul__(self, other: Operand) -> "KExpr":
+        return KMul(_wrap(other), self)
+
+    def __truediv__(self, other: Operand) -> "KExpr":
+        return KDiv(self, _wrap(other))
+
+    def __rtruediv__(self, other: Operand) -> "KExpr":
+        return KDiv(_wrap(other), self)
+
+    def __neg__(self) -> "KExpr":
+        return KNeg(self)
+
+
+@dataclass(frozen=True)
+class KConst(KExpr):
+    value: float
+
+
+@dataclass(frozen=True)
+class KRead(KExpr):
+    """Value of read slot ``i`` — ``Statement.reads[i]`` at this point."""
+
+    slot: int
+
+
+@dataclass(frozen=True)
+class KAdd(KExpr):
+    lhs: KExpr
+    rhs: KExpr
+
+
+@dataclass(frozen=True)
+class KSub(KExpr):
+    lhs: KExpr
+    rhs: KExpr
+
+
+@dataclass(frozen=True)
+class KMul(KExpr):
+    lhs: KExpr
+    rhs: KExpr
+
+
+@dataclass(frozen=True)
+class KDiv(KExpr):
+    lhs: KExpr
+    rhs: KExpr
+
+
+@dataclass(frozen=True)
+class KNeg(KExpr):
+    arg: KExpr
+
+
+def reads(n: int) -> List[KRead]:
+    """Convenience: ``v0..v{n-1}`` slot readers for an app's DSL."""
+    return [KRead(i) for i in range(n)]
+
+
+def max_slot(expr: KExpr) -> int:
+    """Highest read slot mentioned, or -1 for a constant tree."""
+    if isinstance(expr, KRead):
+        return expr.slot
+    if isinstance(expr, KConst):
+        return -1
+    if isinstance(expr, KNeg):
+        return max_slot(expr.arg)
+    if isinstance(expr, (KAdd, KSub, KMul, KDiv)):
+        return max(max_slot(expr.lhs), max_slot(expr.rhs))
+    raise TypeError(f"unknown expr node {type(expr).__name__}")
+
+
+def eval_np(expr: KExpr, read_arrays: Tuple[np.ndarray, ...]) -> np.ndarray:
+    """Evaluate over numpy batches in the tree's operation order.
+
+    The recursion performs one numpy ufunc per interior node, left
+    operand first — the same order :meth:`KExpr.to_c` parenthesizes, so
+    a tree that matches ``kernel_np`` here matches the compiled C too.
+    """
+    if isinstance(expr, KConst):
+        return np.float64(expr.value)  # type: ignore[return-value]
+    if isinstance(expr, KRead):
+        return read_arrays[expr.slot]
+    if isinstance(expr, KNeg):
+        return -eval_np(expr.arg, read_arrays)
+    if isinstance(expr, (KAdd, KSub, KMul, KDiv)):
+        a = eval_np(expr.lhs, read_arrays)
+        b = eval_np(expr.rhs, read_arrays)
+        if isinstance(expr, KAdd):
+            return a + b
+        if isinstance(expr, KSub):
+            return a - b
+        if isinstance(expr, KMul):
+            return a * b
+        return a / b
+    raise TypeError(f"unknown expr node {type(expr).__name__}")
+
+
+def const_to_c(value: float) -> str:
+    """Exact C literal for a double: C99 hex float (no rounding)."""
+    if value != value:  # NaN has no portable literal; apps never use it
+        raise ValueError("NaN constants are not supported")
+    if value in (float("inf"), float("-inf")):
+        raise ValueError("infinite constants are not supported")
+    return float(value).hex()
+
+
+def to_c(expr: KExpr, slot_names: Dict[int, str]) -> str:
+    """Render as a fully parenthesized C expression over ``slot_names``.
+
+    Full parenthesization means C operator precedence never reorders
+    anything: the printed tree IS the evaluation order.
+    """
+    if isinstance(expr, KConst):
+        return const_to_c(expr.value)
+    if isinstance(expr, KRead):
+        return slot_names[expr.slot]
+    if isinstance(expr, KNeg):
+        return f"(-{to_c(expr.arg, slot_names)})"
+    if isinstance(expr, (KAdd, KSub, KMul, KDiv)):
+        op = {KAdd: "+", KSub: "-", KMul: "*", KDiv: "/"}[type(expr)]
+        return (f"({to_c(expr.lhs, slot_names)} {op} "
+                f"{to_c(expr.rhs, slot_names)})")
+    raise TypeError(f"unknown expr node {type(expr).__name__}")
+
+
+def expr_signature(expr: KExpr) -> str:
+    """Canonical text form used for hashing (slot names ``v<i>``)."""
+    nslots = max_slot(expr) + 1
+    return to_c(expr, {i: f"v{i}" for i in range(nslots)})
+
+
+def kernel_fingerprint(nest: "LoopNest") -> str:
+    """sha256 over every statement's kernel content, in statement order.
+
+    Artifact metadata records this so a cached program (or cached
+    ``.so``) can never be served for an app whose kernels changed even
+    though the nest geometry — which is all ``content_key`` hashes, by
+    design — stayed identical.  Statements with a symbolic ``expr``
+    hash its exact C rendering; opaque Python kernels fall back to
+    hashing their compiled bytecode and constants, which is enough to
+    catch any edit to the kernel function body.
+    """
+    h = hashlib.sha256()
+    for s in nest.statements:
+        h.update(b"\x00stmt\x00")
+        h.update(s.write.array.encode())
+        expr = getattr(s, "expr", None)
+        if expr is not None:
+            h.update(b"expr:")
+            h.update(expr_signature(expr).encode())
+            continue
+        fn = s.kernel_np if s.kernel_np is not None else s.kernel
+        if fn is None:
+            h.update(b"none")
+            continue
+        h.update(b"code:")
+        code = getattr(fn, "__code__", None)
+        if code is None:
+            h.update(repr(fn).encode())
+        else:
+            h.update(code.co_code)
+            h.update(repr(code.co_consts).encode())
+            h.update(repr(code.co_names).encode())
+    return h.hexdigest()

@@ -68,6 +68,9 @@ from repro.runtime.vmpi import (
 from repro.tiling.legality import check_legal_tiling
 from repro.tiling.transform import TilingTransformation
 
+if TYPE_CHECKING:
+    from repro.native.engine import NativeKernelLibrary
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.cost import CostCertificate
     from repro.analysis.hb.graph import HBCertificate
@@ -765,6 +768,7 @@ class DistributedRun:
     def execute_dense(
         self, init_value: Callable[[str, Tuple[int, ...]], float],
         dtype: type = np.float64,
+        native: Optional["NativeKernelLibrary"] = None,
     ) -> Tuple[Dict[str, DenseField], RunStats]:
         """Vectorized twin of :meth:`execute`.
 
@@ -778,6 +782,12 @@ class DistributedRun:
         :class:`RunStats` match exactly; only the Python-side wall-clock
         cost changes.  Results come back as :class:`DenseField` per
         written array (``.to_cells()`` recovers the sparse dicts).
+
+        ``native`` switches the per-tile COMPUTE loop to the compiled
+        shared-object kernels (see ``repro.native``): same LDS buffers,
+        same wavefront levels, bitwise-identical values.  A library
+        that fell back at build time (or a non-float64 ``dtype``)
+        silently keeps the numpy path.
         """
         prog = self.program
         spec = self.spec
@@ -808,6 +818,8 @@ class DistributedRun:
         # the fewest levels.  Shared with the emitters through
         # TiledProgram so generated sources burn in the same slices.
         tile_batches = prog.dense_level_batches
+        native_rt = (native.runtime(prog, init_value, dtype)
+                     if native is not None else None)
         fields: Dict[str, DenseField] = {
             plan.stmt.write.array: field_for_write(plan.stmt.write,
                                                    nest.domain, dtype)
@@ -823,6 +835,8 @@ class DistributedRun:
             size = int(lds.cells)
             off_np = np.asarray(lds.offsets, dtype=np.int64)
             local = {a: np.zeros(size, dtype=dtype) for a in prog.arrays}
+            nk = (native_rt.for_rank(lds, local)
+                  if native_rt is not None else None)
 
             def to_flat(jp: np.ndarray, t: int) -> np.ndarray:
                 shifted = jp.copy()
@@ -859,7 +873,10 @@ class DistributedRun:
                         prog.tile_point_count(tile)))
                     origin = np.asarray(tiling.tile_origin(tile),
                                         dtype=np.int64)
-                    for batch in tile_batches(tile):
+                    if nk is not None:
+                        nk.run_tile(tile, t, origin)
+                    for batch in (() if nk is not None
+                                  else tile_batches(tile)):
                         jp = lat[batch]
                         g = tis[batch] + origin
                         wflat = to_flat(jp, t)
@@ -939,6 +956,7 @@ class DistributedRun:
         timeout: float = 300.0,
         overlap: bool = False,
         verify: bool = False,
+        native: Optional["NativeKernelLibrary"] = None,
     ) -> Tuple[Dict[str, DenseField], RunStats]:
         """Run the schedule with *real* OS-process parallelism.
 
@@ -962,13 +980,18 @@ class DistributedRun:
         (see :meth:`TiledProgram.hb_certificate`) before any process
         forks, raising ``VerificationError`` instead of hitting the
         hazard at run time.
+
+        ``native`` hands every worker a compiled
+        :class:`~repro.native.engine.NativeKernelLibrary`: per-tile
+        compute runs in the shared object over the same LDS buffers
+        and rings, bitwise identical to the numpy kernels.
         """
         from repro.runtime.parallel import run_parallel
         return run_parallel(
             self.program, self.spec, init_value, workers=workers,
             dtype=dtype, protocol=protocol, mailbox_depth=mailbox_depth,
             timeout=timeout, trace=self.trace, overlap=overlap,
-            verify=verify)
+            verify=verify, native=native)
 
     # -- pack / unpack ------------------------------------------------------------------
 

@@ -91,6 +91,7 @@ from repro.runtime.trace import EventTrace
 from repro.runtime.vmpi import RunStats
 
 if TYPE_CHECKING:
+    from repro.native.engine import NativeKernelLibrary
     from repro.runtime.executor import TiledProgram
 
 Pid = Tuple[int, ...]
@@ -191,6 +192,9 @@ class _RunConfig:
     overlap: bool
     field_layout: Tuple[Tuple[str, Tuple[int, ...], Tuple[int, ...]],
                         ...]            # (array, origin, shape)
+    #: Native kernel library (repro.native), or None for numpy compute.
+    #: Workers re-dlopen the cached .so by path after the pickle trip.
+    native: Optional["NativeKernelLibrary"] = None
 
 
 def build_rank_plans(program: TiledProgram) -> Dict[int, RankPlan]:
@@ -441,7 +445,9 @@ def _rank_generator(program: TiledProgram, spec: ClusterSpec,
                     events: Optional[List[Event]],
                     t0_ns: int,
                     crash: bool,
-                    overlap: bool = False) -> Generator[None, None, None]:
+                    overlap: bool = False,
+                    native: Optional["NativeKernelLibrary"] = None,
+                    ) -> Generator[None, None, None]:
     """One rank's node program as a cooperative generator.
 
     Identical math to ``DistributedRun.execute_dense`` (same batches,
@@ -494,6 +500,10 @@ def _rank_generator(program: TiledProgram, spec: ClusterSpec,
     size = int(lds.cells)
     off_np = np.asarray(lds.offsets, dtype=np.int64)
     local = {a: np.zeros(size, dtype=dtype) for a in prog.arrays}
+    native_rt = (native.runtime(prog, init_value, dtype)
+                 if native is not None else None)
+    nk = (native_rt.for_rank(lds, local)
+          if native_rt is not None else None)
     thresh = spec.rendezvous_threshold
 
     def to_flat(jp: np.ndarray, t: int) -> np.ndarray:
@@ -620,8 +630,11 @@ def _rank_generator(program: TiledProgram, spec: ClusterSpec,
             c0 = now()
             origin = np.asarray(tiling.tile_origin(tile),
                                 dtype=np.int64)
-            for batch in tile_batches(tile):
-                compute_batch(batch, t, origin)
+            if nk is not None:
+                nk.run_tile(tile, t, origin)
+            else:
+                for batch in tile_batches(tile):
+                    compute_batch(batch, t, origin)
             c1 = now()
             clocks.compute_ns += c1 - c0
             if events is not None:
@@ -729,7 +742,10 @@ def _rank_generator(program: TiledProgram, spec: ClusterSpec,
                 # boundary first: these values feed outgoing regions
                 bnd = oplan.boundary[li]
                 if len(bnd):
-                    compute_batch(bnd, t, origin)
+                    if nk is not None:
+                        nk.run_segment(tile, t, origin, bnd)
+                    else:
+                        compute_batch(bnd, t, origin)
                 # scatter the freshly-final values into every message
                 # this level contributes to (zero-copy for reserved
                 # slots: this writes shared memory directly)
@@ -787,7 +803,10 @@ def _rank_generator(program: TiledProgram, spec: ClusterSpec,
                 # interior: consumers drain the ring while this runs
                 intr = oplan.interior[li]
                 if len(intr):
-                    compute_batch(intr, t, origin)
+                    if nk is not None:
+                        nk.run_segment(tile, t, origin, intr)
+                    else:
+                        compute_batch(intr, t, origin)
             for om in outs:
                 if not om.committed:
                     raise ParallelRuntimeError(
@@ -917,7 +936,7 @@ def _worker_main(worker_id: int, ranks: Tuple[int, ...],
                 program, spec, init_value, plans[r], my_edges, dtype,
                 cfg.protocol, ctrl, clocks[r], fields, origins,
                 progress, ev, t0_ns, crash=(cfg.crash_rank == r),
-                overlap=cfg.overlap)
+                overlap=cfg.overlap, native=cfg.native)
         live = list(ranks)
         spins = 0
         last_progress = -1
@@ -1051,6 +1070,7 @@ def run_parallel(program: TiledProgram, spec: ClusterSpec,
                  start_method: Optional[str] = None,
                  overlap: bool = False,
                  verify: bool = False,
+                 native: Optional["NativeKernelLibrary"] = None,
                  _crash_rank: Optional[int] = None,
                  ) -> Tuple[Dict[str, DenseField], RunStats]:
     """Execute ``program`` with real OS-process parallelism.
@@ -1069,6 +1089,12 @@ def run_parallel(program: TiledProgram, spec: ClusterSpec,
     consumers drain the ring; incoming halos unpack lazily at their
     first reading level.  Results are bitwise identical to
     ``overlap=False`` — only the wall-clock schedule changes.
+
+    ``native`` (a ``repro.native`` :class:`NativeKernelLibrary`)
+    switches workers' per-tile compute to the compiled shared-object
+    kernels over the very same LDS buffers and rings — byte layouts,
+    message order and results are unchanged (bitwise).  A fallback
+    library or non-float64 ``dtype`` silently keeps numpy compute.
     """
     if protocol not in ("eager", "rendezvous", "spec"):
         raise ValueError(f"unknown protocol {protocol!r}")
@@ -1172,7 +1198,8 @@ def run_parallel(program: TiledProgram, spec: ClusterSpec,
             dtype_str=np_dtype.str, protocol=protocol, nranks=nranks,
             nworkers=workers, collect_trace=trace is not None,
             crash_rank=_crash_rank, overlap=overlap,
-            field_layout=tuple(field_layout))
+            field_layout=tuple(field_layout),
+            native=native)
 
         import multiprocessing as _mp
         methods = _mp.get_all_start_methods()

@@ -78,3 +78,4 @@ def test_legal_tilings_translation_validate_clean(case, mapping_dim):
     assert "transval-subscripts" in report.passes_run
     assert "transval-constants" in report.passes_run
     assert "transval-dependences" in report.passes_run
+    assert "transval-kernels" in report.passes_run
